@@ -1,0 +1,107 @@
+"""Ablation: exploration-sequence providers and the zig-zag machinery.
+
+Two ablations called out in DESIGN.md:
+
+* **Sequence provider ablation** — the routing layer can be driven by the
+  pseudo-random provider, the deterministic expander-walk provider, or the
+  certification-wrapped provider.  The table compares their sequence lengths
+  and the coverage steps they need on a reference family, and confirms all
+  three route correctly.
+* **Zig-zag machinery** — one round of the main transformation on a poorly
+  connected input, reporting size, degree and spectral gap per round; with the
+  small default base expander the gap amplification of the full construction
+  is not expected (documented substitution), but the structural invariants
+  (regularity, connectivity preservation) are checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import PROVIDER, emit_table
+from repro.core.exploration import coverage_steps
+from repro.core.routing import RouteOutcome, route
+from repro.core.universal import CertifiedSequenceProvider, RandomSequenceProvider
+from repro.expander.base import margulis_expander
+from repro.expander.reingold import ExpanderSequenceProvider, main_transformation
+from repro.graphs import generators
+from repro.graphs.connectivity import is_connected
+
+
+def test_ablation_sequence_providers(benchmark):
+    providers = {
+        "random (default)": PROVIDER,
+        "expander-walk (deterministic)": ExpanderSequenceProvider(),
+        "certified(random)": CertifiedSequenceProvider(
+            base=RandomSequenceProvider(seed=99), exhaustive_up_to=2
+        ),
+    }
+    reference = generators.prism_graph(8)
+    grid = generators.grid_graph(4, 4)
+    bound = 16
+    rows = []
+    for name, provider in providers.items():
+        sequence = provider.sequence_for(bound)
+        cover = coverage_steps(reference, sequence, 0)
+        outcome = route(grid, 0, 15, provider=provider).outcome
+        rows.append([name, len(sequence), cover, outcome.value])
+    emit_table(
+        "ablation_sequence_providers",
+        "Ablation — exploration-sequence providers",
+        ["provider", "|T_16|", "cover steps on prism-16", "grid routing outcome"],
+        rows,
+        notes=(
+            "All providers drive the identical routing algorithm; the provider only "
+            "determines how the offsets are produced (randomised, deterministic expander "
+            "walk, or certification-wrapped)."
+        ),
+    )
+    assert all(row[3] == RouteOutcome.SUCCESS.value for row in rows)
+
+    benchmark.pedantic(
+        lambda: ExpanderSequenceProvider().sequence_for(24), rounds=3, iterations=1
+    )
+
+
+def test_ablation_zigzag_rounds(benchmark):
+    graph = generators.cycle_graph(12)  # poorly connected input (gap ~ 1/n^2)
+    rows = []
+    for base_name, base in (
+        ("circulant-16 (default)", None),
+        ("margulis-64", margulis_expander(8)),
+    ):
+        result = main_transformation(graph, base_expander=base, rounds=1, powering_exponent=1)
+        for index, certificate in enumerate(result.certificates):
+            rows.append(
+                [
+                    base_name,
+                    f"round {index}",
+                    certificate.num_vertices,
+                    certificate.degree,
+                    round(certificate.second_eigenvalue, 4),
+                    round(certificate.gap, 4),
+                    is_connected(result.rounds[index]),
+                ]
+            )
+        assert result.rounds[1].num_vertices == 12 * result.base_expander.num_vertices
+    emit_table(
+        "ablation_zigzag",
+        "Ablation — one main-transformation round under two base expanders",
+        ["base expander", "round", "vertices", "degree", "lambda_2", "spectral gap", "connected"],
+        rows,
+        notes=(
+            "Structural invariants of G_{i+1} = (G_i z H)^k hold (regular, connectivity "
+            "preserved, size multiplied by |V(H)|).  With toy-sized base expanders the "
+            "theorem's gap amplification is out of reach — the documented substitution — "
+            "so the gap column is reported for transparency rather than asserted."
+        ),
+    )
+    assert all(row[6] for row in rows)
+
+    benchmark.pedantic(
+        lambda: main_transformation(
+            generators.cycle_graph(8), base_expander=margulis_expander(8), rounds=1, powering_exponent=1
+        ),
+        rounds=1,
+        iterations=1,
+    )

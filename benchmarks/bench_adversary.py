@@ -1,0 +1,77 @@
+"""Ablation: how long does the sequence *really* need to be?
+
+Definition 3 asks for coverage from every start edge under every labeling.
+This ablation measures, for a family of 3-regular graphs, the worst-case
+number of sequence steps needed over all start edges (the empirical lower
+bound on the necessary prefix length), and contrasts it with the length budget
+the default provider allocates.  It also runs the labeling adversary against a
+deliberately truncated sequence to show that "long enough for one labeling" is
+not "universal" — the gap the certification machinery exists to close.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import PROVIDER, emit_table
+from repro.core.adversary import find_adversarial_labeling, worst_case_coverage_steps
+from repro.core.exploration import ExplicitSequence
+from repro.graphs import generators
+
+
+def _family():
+    return [
+        ("K4", generators.complete_graph(4)),
+        ("prism-8", generators.prism_graph(4)),
+        ("petersen", generators.petersen_graph()),
+        ("prism-16", generators.prism_graph(8)),
+        ("random-cubic-20", generators.random_regular_graph(20, 3, seed=9)),
+    ]
+
+
+def test_ablation_worst_case_prefix(benchmark):
+    bound = 20
+    sequence = PROVIDER.sequence_for(bound)
+    rows = []
+    for name, graph in _family():
+        worst = worst_case_coverage_steps(graph, sequence)
+        truncated = ExplicitSequence(sequence.offsets()[: max(4, (worst or 4) // 3)])
+        witness = find_adversarial_labeling(graph, truncated, attempts=12, seed=3)
+        rows.append(
+            [
+                name,
+                graph.num_vertices,
+                len(sequence),
+                worst,
+                round(worst / graph.num_vertices ** 2, 2) if worst else None,
+                len(truncated),
+                "defeated" if witness is not None else "survived",
+            ]
+        )
+    emit_table(
+        "ablation_adversary",
+        "Ablation — worst-case coverage prefix and the labeling adversary",
+        [
+            "graph",
+            "n",
+            "budget |T_20|",
+            "worst-case cover steps (all starts)",
+            "÷ n^2",
+            "truncated length",
+            "truncated vs adversary",
+        ],
+        rows,
+        notes=(
+            "The worst-case-over-starts coverage length sits at a small multiple of n^2, "
+            "well inside the Theta(n^2 log n) budget; truncating the sequence to a third "
+            "of that is typically defeated by an adversarial port relabeling — the reason "
+            "certification (and in the original paper, Reingold's construction) is needed "
+            "rather than 'it worked on the labeling we tried'."
+        ),
+    )
+    assert all(row[3] is not None and row[3] <= row[2] for row in rows)
+
+    petersen = generators.petersen_graph()
+    benchmark.pedantic(
+        lambda: worst_case_coverage_steps(petersen, sequence), rounds=3, iterations=1
+    )

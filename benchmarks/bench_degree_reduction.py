@@ -1,0 +1,64 @@
+"""E1 (Fig. 1): the degree-reduction gadget.
+
+Reproduces the quantitative content of the paper's only figure: every node of
+degree ``d`` becomes a cycle of ``max(d, 1)`` degree-3 virtual nodes, so the
+graph grows by at most a factor of the maximum degree (and never more than
+squares).  The table reports the blow-up over a spread of topologies and the
+benchmark times the transformation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import emit_table
+from repro.graphs import generators
+from repro.graphs.degree_reduction import reduce_to_three_regular
+from repro.network.adhoc import build_unit_disk_network
+
+
+def _topologies():
+    udg = build_unit_disk_network(100, radius=0.18, seed=1).graph
+    return [
+        ("ring-64", generators.cycle_graph(64)),
+        ("grid-10x10", generators.grid_graph(10, 10)),
+        ("star-50", generators.star_graph(50)),
+        ("complete-20", generators.complete_graph(20)),
+        ("tree-depth6", generators.binary_tree(6)),
+        ("random-regular-60-d3", generators.random_regular_graph(60, 3, seed=2)),
+        ("lollipop-20-20", generators.lollipop_graph(20, 20)),
+        ("udg-2d-100", udg),
+    ]
+
+
+def test_e1_degree_reduction_table(benchmark):
+    rows = []
+    for name, graph in _topologies():
+        reduction = reduce_to_three_regular(graph)
+        rows.append(
+            [
+                name,
+                graph.num_vertices,
+                graph.num_edges,
+                graph.max_degree(),
+                reduction.graph.num_vertices,
+                round(reduction.blowup_factor, 2),
+                reduction.graph.is_regular(3),
+                reduction.external_edge_count() == graph.num_edges,
+            ]
+        )
+    emit_table(
+        "E1_degree_reduction",
+        "E1 / Fig. 1 — degree reduction to 3-regular graphs",
+        ["topology", "n", "m", "max_deg", "n'", "blowup", "3-regular", "edges preserved"],
+        rows,
+        notes=(
+            "Paper claim: each node simulates O(deg) virtual nodes, 'at most squaring the "
+            "size of the graph'.  Measured blow-up equals the average of max(deg, 1) and "
+            "never exceeds the maximum degree, far below the squaring worst case."
+        ),
+    )
+
+    # Time the reduction of the largest instance.
+    udg = _topologies()[-1][1]
+    benchmark(lambda: reduce_to_three_regular(udg))

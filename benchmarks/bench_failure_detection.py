@@ -1,0 +1,79 @@
+"""E9 (Section 3): bounded-time failure detection for unreachable targets.
+
+The third defect of naive random routing the paper lists is that "if there is
+no path from s to t, then the algorithm will never terminate".  This
+experiment routes towards deliberately unreachable targets (disconnected
+unit-disk deployments and split grids) and reports, for every algorithm,
+whether the source ends up *knowing* the delivery failed and at what cost.
+The shape to check: the UES router detects 100% of the failures after a
+bounded (poly-length) walk; the random walk never knows; DFS and flooding
+also detect but only by spending per-node state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import PROVIDER, emit_table
+from repro.baselines.dfs_routing import dfs_token_route
+from repro.baselines.flooding import flood_route
+from repro.baselines.random_walk_routing import random_walk_route
+from repro.core.routing import RouteOutcome, route
+from repro.graphs import generators
+from repro.network.adhoc import build_unit_disk_network
+
+
+def _unreachable_pairs():
+    """(graph, source, target) triples where the target is not in C_s."""
+    cases = []
+    split_grid = generators.disjoint_union([generators.grid_graph(3, 3), generators.grid_graph(2, 3)])
+    cases.append(("split-grid", split_grid, 0, split_grid.num_vertices - 1))
+    rings = generators.disjoint_union([generators.cycle_graph(8), generators.cycle_graph(6)])
+    cases.append(("two-rings", rings, 0, 10))
+    sparse = build_unit_disk_network(24, radius=0.2, seed=5)
+    from repro.graphs.connectivity import connected_component
+
+    component = connected_component(sparse.graph, 0)
+    outside = [v for v in sparse.graph.vertices if v not in component]
+    if outside:
+        cases.append(("sparse-udg", sparse.graph, 0, outside[0]))
+    cases.append(("missing-name", generators.grid_graph(3, 3), 0, 10_000))
+    return cases
+
+
+def test_e9_failure_detection_table(benchmark):
+    rows = []
+    for name, graph, source, target in _unreachable_pairs():
+        ues = route(graph, source, target, provider=PROVIDER)
+        walk = random_walk_route(graph, source, target, seed=1)
+        dfs = dfs_token_route(graph, source, target)
+        flood = flood_route(graph, source, target)
+        rows.append(
+            [
+                name,
+                "ues-route",
+                ues.outcome is RouteOutcome.FAILURE,
+                ues.physical_hops,
+                0,
+            ]
+        )
+        rows.append([name, "random-walk", walk.detected_failure, walk.hops, walk.per_node_state_bits])
+        rows.append([name, "dfs-token", dfs.detected_failure, dfs.hops, dfs.per_node_state_bits])
+        rows.append([name, "flooding", flood.detected_failure, flood.hops, flood.per_node_state_bits])
+    emit_table(
+        "E9_failure_detection",
+        "E9 — unreachable targets: who finds out, and at what price",
+        ["scenario", "algorithm", "source learns failure", "hops spent", "per-node state bits"],
+        rows,
+        notes=(
+            "Paper claim: after L_n steps without meeting t the message backtracks along "
+            "the reversible sequence and the source returns 'failure' — bounded time, no "
+            "per-node state.  The random walk can only give up silently; DFS and flooding "
+            "detect but deposit state in every visited node."
+        ),
+    )
+    assert all(row[2] for row in rows if row[1] == "ues-route")
+    assert not any(row[2] for row in rows if row[1] == "random-walk")
+
+    rings = generators.disjoint_union([generators.cycle_graph(8), generators.cycle_graph(6)])
+    benchmark.pedantic(lambda: route(rings, 0, 10, provider=PROVIDER), rounds=3, iterations=1)

@@ -1,0 +1,139 @@
+"""E3 (Theorem 1): guaranteed delivery on 2D unit-disk networks, vs baselines.
+
+For a sweep of random 2D unit-disk deployments, the same source/target pairs
+are routed with the exploration-sequence router and with the baselines
+(random walk, greedy geographic, GFG, flooding).  The shape the paper
+predicts: the UES router delivers on 100% of the reachable pairs and *knows*
+the outcome on every pair; stateless baselines either miss deliveries
+(greedy voids, unlucky walks) or pay with per-node state / message storms
+(flooding, DFS).  Hop counts show the price of the guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import PROVIDER, emit_table
+from repro.analysis.experiments import pick_source_target_pairs
+from repro.analysis.metrics import (
+    delivery_rate,
+    failure_detection_rate,
+    mean_hops,
+    observation_from_attempt,
+    observation_from_route,
+)
+from repro.baselines.face_routing import gfg_route
+from repro.baselines.flooding import flood_route
+from repro.baselines.greedy_geo import greedy_geographic_route
+from repro.baselines.random_walk_routing import random_walk_route
+from repro.core.routing import route
+from repro.network.adhoc import build_unit_disk_network
+
+SIZES = (20, 35, 50)
+PAIRS_PER_NETWORK = 6
+
+
+def _observations():
+    per_algorithm = {"ues-route": [], "random-walk": [], "greedy": [], "gfg": [], "flooding": []}
+    for size in SIZES:
+        network = build_unit_disk_network(size, radius=0.3, seed=size)
+        graph, deployment = network.graph, network.deployment
+        pairs = pick_source_target_pairs(network, PAIRS_PER_NETWORK, seed=size)
+        for source, target in pairs:
+            per_algorithm["ues-route"].append(
+                observation_from_route(graph, route(graph, source, target, provider=PROVIDER))
+            )
+            per_algorithm["random-walk"].append(
+                observation_from_attempt(
+                    graph, source, target,
+                    random_walk_route(graph, source, target, seed=source + target),
+                )
+            )
+            per_algorithm["greedy"].append(
+                observation_from_attempt(
+                    graph, source, target,
+                    greedy_geographic_route(graph, deployment, source, target),
+                )
+            )
+            per_algorithm["gfg"].append(
+                observation_from_attempt(
+                    graph, source, target, gfg_route(graph, deployment, source, target)
+                )
+            )
+            per_algorithm["flooding"].append(
+                observation_from_attempt(graph, source, target, flood_route(graph, source, target))
+            )
+    return per_algorithm
+
+
+def test_e3_routing_guarantee_table(benchmark):
+    per_algorithm = _observations()
+    rows = []
+    for algorithm, observations in per_algorithm.items():
+        rows.append(
+            [
+                algorithm,
+                len(observations),
+                round(delivery_rate(observations), 3),
+                round(failure_detection_rate(observations), 3),
+                round(mean_hops(observations) or 0.0, 1),
+                max(obs.per_node_state_bits for obs in observations),
+            ]
+        )
+    emit_table(
+        "E3_routing_guarantee",
+        "E3 — delivery guarantee on 2D unit-disk networks (paper: Theorem 1)",
+        ["algorithm", "attempts", "delivery rate", "failure detection", "mean hops (delivered)", "per-node state bits"],
+        rows,
+        notes=(
+            "Paper claim: the UES router always delivers when a path exists and always "
+            "returns a confirmation, with zero per-node state.  Baselines trade away one "
+            "of the three (delivery, detection, statelessness) or pay in messages."
+        ),
+    )
+    ues = per_algorithm["ues-route"]
+    assert delivery_rate(ues) == 1.0
+    assert failure_detection_rate(ues) == 1.0
+
+    network = build_unit_disk_network(30, radius=0.3, seed=30)
+    source, target = network.graph.vertices[0], network.graph.vertices[-1]
+    benchmark.pedantic(
+        lambda: route(network.graph, source, target, provider=PROVIDER), rounds=5, iterations=1
+    )
+
+
+def test_e3_ablation_native_cubic_topologies(benchmark):
+    """Ablation: routing on natively 3-regular graphs (no degree reduction needed)."""
+    from repro.graphs import generators
+
+    rows = []
+    for name, graph in (
+        ("prism-20", generators.prism_graph(10)),
+        ("random-cubic-24", generators.random_regular_graph(24, 3, seed=1)),
+        ("moebius-kantor", generators.moebius_kantor_graph()),
+    ):
+        result = route(graph, graph.vertices[0], graph.vertices[-1], provider=PROVIDER)
+        rows.append(
+            [
+                name,
+                graph.num_vertices,
+                result.size_bound,
+                round(result.size_bound / graph.num_vertices, 2),
+                result.outcome.value,
+                result.physical_hops,
+            ]
+        )
+    emit_table(
+        "E3b_ablation_cubic",
+        "E3b — ablation: native 3-regular inputs still pay the x3 reduction cost",
+        ["graph", "n", "reduced bound", "blowup", "outcome", "hops"],
+        rows,
+        notes=(
+            "Even already-cubic inputs are passed through the Fig. 1 gadget (each vertex "
+            "becomes a 3-cycle); the factor-3 cost is the price of a uniform pipeline."
+        ),
+    )
+    graph = generators.prism_graph(10)
+    benchmark.pedantic(
+        lambda: route(graph, 0, graph.num_vertices - 1, provider=PROVIDER), rounds=5, iterations=1
+    )

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment of EXPERIMENTS.md: it
+computes the experiment's reproduction table, writes it to
+``benchmarks/output/<experiment>.txt`` (and echoes it to stdout), and times a
+representative operation with ``pytest-benchmark`` so the harness also tracks
+raw performance.  Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.universal import RandomSequenceProvider
+
+#: Output directory for the reproduction tables.
+OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
+
+#: One shared provider across all benchmarks so sequence caches are reused.
+PROVIDER = RandomSequenceProvider(seed=2008)
+
+
+def emit_table(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: str = "",
+) -> str:
+    """Render, print and persist one experiment table; return the rendering."""
+    table = format_table(headers, rows, title=title)
+    if notes:
+        table = f"{table}\n\n{notes.strip()}"
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"{experiment}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table + "\n")
+    print(f"\n{table}\n[written to {path}]")
+    return table

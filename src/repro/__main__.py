@@ -1,0 +1,10 @@
+"""Module entry point: ``python -m repro <command>`` (see :mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Analysis and experiment-harness utilities.
+
+The modules here turn raw algorithm outputs (route results, baseline
+attempts, simulation traces) into the summary rows the benchmark harness
+prints for each experiment of EXPERIMENTS.md: delivery rates, hop counts,
+stretch against the shortest path, header overhead and memory usage, with
+basic statistics over repeated trials and a plain-text table renderer.
+"""
+
+from repro.analysis.metrics import (
+    RoutingObservation,
+    delivery_rate,
+    observation_from_attempt,
+    observation_from_route,
+    stretch,
+)
+from repro.analysis.statistics import SummaryStats, summarize
+from repro.analysis.reporting import format_table, format_markdown_table
+from repro.analysis.experiments import (
+    ExperimentResult,
+    ScenarioSpec,
+    run_parameter_sweep,
+    unit_disk_scenarios,
+)
+
+__all__ = [
+    "RoutingObservation",
+    "delivery_rate",
+    "observation_from_attempt",
+    "observation_from_route",
+    "stretch",
+    "SummaryStats",
+    "summarize",
+    "format_table",
+    "format_markdown_table",
+    "ExperimentResult",
+    "ScenarioSpec",
+    "run_parameter_sweep",
+    "unit_disk_scenarios",
+]

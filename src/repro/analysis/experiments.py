@@ -1,0 +1,197 @@
+"""Scenario construction and parameter sweeps for the experiment harness.
+
+A :class:`ScenarioSpec` describes one network instance to evaluate (topology
+family, size, radius, seed, dimension); :func:`run_parameter_sweep` evaluates
+a caller-supplied function over a list of scenarios and collects rows for the
+report tables.  The benchmark modules in ``benchmarks/`` are thin wrappers
+around these helpers, so the same sweeps can also be run interactively from
+the examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.graphs import generators
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.network.adhoc import AdHocNetwork, build_graph_network, build_unit_disk_network
+
+__all__ = [
+    "ScenarioSpec",
+    "ExperimentResult",
+    "build_scenario",
+    "unit_disk_scenarios",
+    "structured_scenarios",
+    "run_parameter_sweep",
+    "pick_source_target_pairs",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One network instance the harness should build and evaluate."""
+
+    name: str
+    family: str
+    size: int
+    seed: int = 0
+    radius: Optional[float] = None
+    dimension: int = 2
+    namespace_size: Optional[int] = None
+    extra: Tuple[Tuple[str, object], ...] = ()
+
+    def parameters(self) -> Dict[str, object]:
+        """All parameters as a dictionary (for report rows)."""
+        params: Dict[str, object] = {
+            "name": self.name,
+            "family": self.family,
+            "size": self.size,
+            "seed": self.seed,
+            "dimension": self.dimension,
+        }
+        if self.radius is not None:
+            params["radius"] = self.radius
+        params.update(dict(self.extra))
+        return params
+
+
+@dataclass
+class ExperimentResult:
+    """Rows accumulated by a sweep, plus the header naming their columns."""
+
+    experiment: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add_row(self, row: Sequence[object]) -> None:
+        """Append one row, validating its width."""
+        if len(row) != len(self.headers):
+            raise ExperimentError(
+                f"experiment {self.experiment!r}: row width {len(row)} != {len(self.headers)}"
+            )
+        self.rows.append(list(row))
+
+
+def build_scenario(spec: ScenarioSpec) -> AdHocNetwork:
+    """Materialise a scenario into an :class:`AdHocNetwork`.
+
+    Families: ``unit-disk`` (requires ``radius``), ``grid``, ``torus``,
+    ``ring``, ``prism``, ``random-regular``, ``erdos-renyi``, ``lollipop``,
+    ``tree``.
+    """
+    family = spec.family
+    if family == "unit-disk":
+        if spec.radius is None:
+            raise ExperimentError("unit-disk scenarios need a radius")
+        return build_unit_disk_network(
+            spec.size,
+            spec.radius,
+            dimension=spec.dimension,
+            seed=spec.seed,
+            namespace_size=spec.namespace_size,
+        )
+    graph = _structured_graph(spec)
+    return build_graph_network(graph, namespace_size=spec.namespace_size)
+
+
+def _structured_graph(spec: ScenarioSpec) -> LabeledGraph:
+    family, size, seed = spec.family, spec.size, spec.seed
+    extra = dict(spec.extra)
+    if family == "grid":
+        side = max(2, int(round(size ** 0.5)))
+        return generators.grid_graph(side, side)
+    if family == "torus":
+        side = max(3, int(round(size ** 0.5)))
+        return generators.torus_graph(side, side)
+    if family == "ring":
+        return generators.cycle_graph(max(3, size))
+    if family == "prism":
+        return generators.prism_graph(max(3, size // 2))
+    if family == "random-regular":
+        degree = int(extra.get("degree", 3))
+        n = size if (size * degree) % 2 == 0 else size + 1
+        return generators.random_regular_graph(n, degree, seed=seed)
+    if family == "erdos-renyi":
+        probability = float(extra.get("p", 0.1))
+        return generators.erdos_renyi_graph(size, probability, seed=seed)
+    if family == "lollipop":
+        clique = max(3, size // 2)
+        return generators.lollipop_graph(clique, max(1, size - clique))
+    if family == "tree":
+        return generators.random_tree(max(1, size), seed=seed)
+    raise ExperimentError(f"unknown scenario family {family!r}")
+
+
+def unit_disk_scenarios(
+    sizes: Sequence[int],
+    radius: float,
+    dimension: int = 2,
+    seeds: Sequence[int] = (0,),
+) -> List[ScenarioSpec]:
+    """A grid of unit-disk scenarios over sizes × seeds."""
+    return [
+        ScenarioSpec(
+            name=f"udg{dimension}d-n{size}-s{seed}",
+            family="unit-disk",
+            size=size,
+            seed=seed,
+            radius=radius,
+            dimension=dimension,
+        )
+        for size, seed in itertools.product(sizes, seeds)
+    ]
+
+
+def structured_scenarios(
+    family: str, sizes: Sequence[int], seeds: Sequence[int] = (0,), **extra: object
+) -> List[ScenarioSpec]:
+    """A grid of structured-topology scenarios over sizes × seeds."""
+    extras = tuple(sorted(extra.items()))
+    return [
+        ScenarioSpec(
+            name=f"{family}-n{size}-s{seed}",
+            family=family,
+            size=size,
+            seed=seed,
+            extra=extras,
+        )
+        for size, seed in itertools.product(sizes, seeds)
+    ]
+
+
+def pick_source_target_pairs(
+    network: AdHocNetwork, pairs: int, seed: int = 0, distinct: bool = True
+) -> List[Tuple[int, int]]:
+    """Deterministically choose source/target node pairs for an experiment."""
+    vertices = list(network.graph.vertices)
+    if not vertices:
+        raise ExperimentError("cannot pick pairs from an empty network")
+    rng = random.Random(seed)
+    chosen: List[Tuple[int, int]] = []
+    for _ in range(pairs):
+        source = rng.choice(vertices)
+        target = rng.choice(vertices)
+        if distinct and len(vertices) > 1:
+            while target == source:
+                target = rng.choice(vertices)
+        chosen.append((source, target))
+    return chosen
+
+
+def run_parameter_sweep(
+    experiment: str,
+    headers: Sequence[str],
+    scenarios: Sequence[ScenarioSpec],
+    evaluate: Callable[[ScenarioSpec, AdHocNetwork], Iterable[Sequence[object]]],
+) -> ExperimentResult:
+    """Build every scenario and collect the rows ``evaluate`` produces for it."""
+    result = ExperimentResult(experiment=experiment, headers=list(headers))
+    for spec in scenarios:
+        network = build_scenario(spec)
+        for row in evaluate(spec, network):
+            result.add_row(row)
+    return result

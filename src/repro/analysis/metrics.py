@@ -1,0 +1,136 @@
+"""Routing metrics: delivery, hop counts, stretch, state and overhead.
+
+A :class:`RoutingObservation` is the common denominator of everything the
+experiments compare: the guaranteed router (:class:`~repro.core.routing.RouteResult`),
+the baselines (:class:`~repro.baselines.base.RoutingAttempt`) and the hybrid
+combiner all convert into one, after which delivery rates, stretch and cost
+statistics are computed uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.baselines.base import RoutingAttempt
+from repro.core.routing import RouteOutcome, RouteResult
+from repro.graphs.connectivity import shortest_path
+from repro.graphs.labeled_graph import LabeledGraph
+
+__all__ = [
+    "RoutingObservation",
+    "observation_from_route",
+    "observation_from_attempt",
+    "delivery_rate",
+    "failure_detection_rate",
+    "stretch",
+    "mean_hops",
+]
+
+
+@dataclass(frozen=True)
+class RoutingObservation:
+    """One routing attempt, normalised across algorithms."""
+
+    algorithm: str
+    source: int
+    target: int
+    reachable: bool
+    delivered: bool
+    outcome_known: bool
+    hops: int
+    shortest_path_hops: Optional[int]
+    header_bits: int = 0
+    per_node_state_bits: int = 0
+
+    @property
+    def correct(self) -> bool:
+        """Delivered exactly when the target was reachable, and the outcome is known."""
+        if not self.outcome_known:
+            return False
+        return self.delivered == self.reachable
+
+    @property
+    def stretch(self) -> Optional[float]:
+        """Hops divided by the shortest-path distance (when delivered and defined)."""
+        if not self.delivered or not self.shortest_path_hops:
+            return None
+        return self.hops / self.shortest_path_hops
+
+
+def _shortest_hops(graph: LabeledGraph, source: int, target: int) -> Optional[int]:
+    if not graph.has_vertex(target) or not graph.has_vertex(source):
+        return None
+    path = shortest_path(graph, source, target)
+    return None if path is None else len(path) - 1
+
+
+def observation_from_route(
+    graph: LabeledGraph, result: RouteResult
+) -> RoutingObservation:
+    """Normalise a guaranteed-router result."""
+    shortest = _shortest_hops(graph, result.source, result.target)
+    return RoutingObservation(
+        algorithm="ues-route",
+        source=result.source,
+        target=result.target,
+        reachable=shortest is not None,
+        delivered=result.delivered,
+        outcome_known=True,
+        hops=result.physical_hops,
+        shortest_path_hops=shortest,
+        header_bits=result.header_bits,
+        per_node_state_bits=0,
+    )
+
+
+def observation_from_attempt(
+    graph: LabeledGraph, source: int, target: int, attempt: RoutingAttempt
+) -> RoutingObservation:
+    """Normalise a baseline attempt."""
+    shortest = _shortest_hops(graph, source, target)
+    outcome_known = attempt.delivered or attempt.detected_failure
+    return RoutingObservation(
+        algorithm=attempt.algorithm,
+        source=source,
+        target=target,
+        reachable=shortest is not None,
+        delivered=attempt.delivered,
+        outcome_known=outcome_known,
+        hops=attempt.hops,
+        shortest_path_hops=shortest,
+        header_bits=0,
+        per_node_state_bits=attempt.per_node_state_bits,
+    )
+
+
+def delivery_rate(observations: Sequence[RoutingObservation]) -> float:
+    """Fraction of attempts with a reachable target that were delivered."""
+    eligible = [obs for obs in observations if obs.reachable]
+    if not eligible:
+        return 1.0
+    return sum(1 for obs in eligible if obs.delivered) / len(eligible)
+
+
+def failure_detection_rate(observations: Sequence[RoutingObservation]) -> float:
+    """Fraction of attempts with an unreachable target whose failure was detected."""
+    eligible = [obs for obs in observations if not obs.reachable]
+    if not eligible:
+        return 1.0
+    return sum(1 for obs in eligible if obs.outcome_known and not obs.delivered) / len(eligible)
+
+
+def mean_hops(observations: Sequence[RoutingObservation], delivered_only: bool = True) -> Optional[float]:
+    """Mean hop count (of delivered attempts by default)."""
+    pool = [obs.hops for obs in observations if obs.delivered or not delivered_only]
+    if not pool:
+        return None
+    return sum(pool) / len(pool)
+
+
+def stretch(observations: Sequence[RoutingObservation]) -> Optional[float]:
+    """Mean stretch over the delivered attempts for which it is defined."""
+    values = [obs.stretch for obs in observations if obs.stretch is not None]
+    if not values:
+        return None
+    return sum(values) / len(values)

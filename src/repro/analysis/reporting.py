@@ -1,0 +1,71 @@
+"""Plain-text and Markdown table rendering for benchmark output.
+
+Every benchmark module prints its reproduction table through these helpers so
+EXPERIMENTS.md and the console output stay visually consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_cell", "format_table", "format_markdown_table"]
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    """Render one table cell: floats rounded, ``None`` as a dash, rest via str."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def _render_rows(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int
+) -> List[List[str]]:
+    rendered = [[format_cell(cell, precision) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table declares {len(headers)} columns"
+            )
+    return rendered
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned fixed-width text table."""
+    rendered = _render_rows(headers, rows, precision)
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in rendered)) if rendered else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render a GitHub-flavoured Markdown table (used to update EXPERIMENTS.md)."""
+    rendered = _render_rows(headers, rows, precision)
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rendered:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Baseline routing and broadcasting algorithms.
+
+The paper positions its exploration-sequence router against the existing
+landscape: naive random-walk routing (the "natural, if wasteful" approach of
+Section 1.2), flooding, and the position-based algorithms surveyed in its
+references [2, 5, 9] — greedy geographic forwarding and greedy-face-greedy
+(GFG/GPSR) on a planarised subgraph — plus the token-depositing DFS strawman
+the introduction dismisses because it requires per-node state.  All of them
+are implemented here so every experiment can report the guaranteed router and
+its competitors on the identical network instance.
+
+All baselines return a :class:`RoutingAttempt`, which also satisfies the
+``FastAttempt`` protocol expected by the Corollary 2 combiner
+(:func:`repro.core.hybrid.hybrid_route`).
+"""
+
+from repro.baselines.base import RoutingAttempt
+from repro.baselines.random_walk_routing import random_walk_route
+from repro.baselines.flooding import flood_broadcast, flood_route, FloodResult
+from repro.baselines.greedy_geo import greedy_geographic_route
+from repro.baselines.face_routing import gfg_route, face_route
+from repro.baselines.dfs_routing import dfs_token_route
+
+__all__ = [
+    "RoutingAttempt",
+    "random_walk_route",
+    "flood_broadcast",
+    "flood_route",
+    "FloodResult",
+    "greedy_geographic_route",
+    "gfg_route",
+    "face_route",
+    "dfs_token_route",
+]

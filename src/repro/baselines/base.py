@@ -1,0 +1,49 @@
+"""Common result type shared by every baseline router."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["RoutingAttempt"]
+
+
+@dataclass(frozen=True)
+class RoutingAttempt:
+    """The outcome of one baseline routing attempt.
+
+    Attributes
+    ----------
+    algorithm:
+        Short identifier of the algorithm ("random-walk", "greedy", "gfg", ...).
+    delivered:
+        Whether the message reached the target.
+    hops:
+        Number of physical transmissions performed (for flooding this counts
+        every transmission, not just those on the path that reached the target).
+    path:
+        The vertices visited by the message, in order, when the algorithm has a
+        single message in flight; flooding leaves it empty.
+    detected_failure:
+        True when the algorithm itself *knows* it failed (e.g. greedy stuck at
+        a local minimum, DFS exhausted the component).  A false value together
+        with ``delivered == False`` means the algorithm was cut off by its step
+        budget without learning anything — the silent-failure mode the paper's
+        guaranteed router never exhibits.
+    per_node_state_bits:
+        Upper bound on the per-node state the algorithm needed (0 for the
+        stateless ones; the DFS token router and flooding need per-node marks).
+    """
+
+    algorithm: str
+    delivered: bool
+    hops: int
+    path: Tuple[int, ...] = ()
+    detected_failure: bool = False
+    per_node_state_bits: int = 0
+    notes: str = ""
+
+    @property
+    def stretch_basis(self) -> int:
+        """Hop count used when computing stretch against the shortest path."""
+        return self.hops

@@ -1,0 +1,81 @@
+"""Greedy geographic forwarding.
+
+Each node forwards the message to the neighbour geometrically closest to the
+target, provided that neighbour is strictly closer than the node itself.  The
+algorithm is stateless and extremely cheap, but it gets stuck at *local
+minima* ("voids"): nodes none of whose neighbours improve on the distance to
+the target.  In 2D the classic fix is to fall back to face routing on a
+planar subgraph (see :mod:`repro.baselines.face_routing`); in 3D no such
+general fix exists — the motivation the paper cites from [2] — which is what
+experiment E8 demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import RoutingAttempt
+from repro.errors import GeometryError, RoutingError
+from repro.geometry.deployment import Deployment
+from repro.graphs.labeled_graph import LabeledGraph
+
+__all__ = ["greedy_geographic_route"]
+
+
+def greedy_geographic_route(
+    graph: LabeledGraph,
+    deployment: Deployment,
+    source: int,
+    target: int,
+    max_hops: Optional[int] = None,
+) -> RoutingAttempt:
+    """Greedy geographic routing from ``source`` to ``target``.
+
+    The target must be a deployed node (greedy routing needs its coordinates).
+    The attempt ends in one of three ways: delivery, a detected local minimum
+    (``detected_failure=True`` — the node knows it is stuck), or an exhausted
+    hop budget.
+    """
+    if not graph.has_vertex(source):
+        raise RoutingError(f"source {source!r} is not a vertex of the graph")
+    try:
+        target_position = deployment.position(target)
+    except GeometryError as exc:
+        raise RoutingError(f"target {target!r} has no known position") from exc
+
+    budget = max_hops if max_hops is not None else 4 * graph.num_vertices
+    current = source
+    path = [source]
+    for _ in range(budget):
+        if current == target:
+            break
+        current_distance = deployment.position(current).distance_to(target_position)
+        best_neighbor = None
+        best_distance = current_distance
+        for neighbor in set(graph.neighbors(current)):
+            if neighbor == current:
+                continue
+            candidate = deployment.position(neighbor).distance_to(target_position)
+            if candidate < best_distance - 1e-15:
+                best_distance = candidate
+                best_neighbor = neighbor
+        if best_neighbor is None:
+            return RoutingAttempt(
+                algorithm="greedy",
+                delivered=False,
+                hops=len(path) - 1,
+                path=tuple(path),
+                detected_failure=True,
+                notes=f"stuck at local minimum {current}",
+            )
+        current = best_neighbor
+        path.append(current)
+    delivered = current == target
+    return RoutingAttempt(
+        algorithm="greedy",
+        delivered=delivered,
+        hops=len(path) - 1,
+        path=tuple(path),
+        detected_failure=False if delivered else False,
+        notes="" if delivered else "hop budget exhausted",
+    )

@@ -1,0 +1,73 @@
+"""Random-walk routing — the paper's "natural, if wasteful" strawman.
+
+The message performs a simple random walk until it happens to hit the target
+or a step budget runs out.  The paper lists its three defects (Section 1.2):
+it may fail to reach the target within any fixed budget, it has no way to
+return a confirmation without depositing per-node state, and it never
+terminates when no path exists.  The implementation exposes exactly those
+defects: a mandatory step budget, no confirmation, and ``detected_failure``
+always false — running out of budget teaches the source nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import RoutingAttempt
+from repro.errors import RoutingError
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.walks.random_walk import RandomWalk
+
+__all__ = ["random_walk_route"]
+
+
+def random_walk_route(
+    graph: LabeledGraph,
+    source: int,
+    target: int,
+    max_steps: Optional[int] = None,
+    seed: int = 0,
+) -> RoutingAttempt:
+    """Route by an unbiased random walk with a step budget.
+
+    ``max_steps`` defaults to ``8 * n^2`` (a couple of expected cover times),
+    which makes success overwhelmingly likely when the target is reachable
+    but is still only a probabilistic statement — the contrast the Corollary 2
+    experiment quantifies.
+    """
+    if not graph.has_vertex(source):
+        raise RoutingError(f"source {source!r} is not a vertex of the graph")
+    if source == target:
+        return RoutingAttempt(
+            algorithm="random-walk", delivered=True, hops=0, path=(source,)
+        )
+    budget = max_steps if max_steps is not None else 8 * graph.num_vertices ** 2
+    if graph.degree(source) == 0:
+        return RoutingAttempt(
+            algorithm="random-walk",
+            delivered=False,
+            hops=0,
+            path=(source,),
+            detected_failure=False,
+            notes="source is isolated",
+        )
+    walk = RandomWalk(graph, source, seed=seed)
+    path = [source]
+    for _ in range(budget):
+        vertex = walk.step()
+        path.append(vertex)
+        if vertex == target:
+            return RoutingAttempt(
+                algorithm="random-walk",
+                delivered=True,
+                hops=len(path) - 1,
+                path=tuple(path),
+            )
+    return RoutingAttempt(
+        algorithm="random-walk",
+        delivered=False,
+        hops=len(path) - 1,
+        path=tuple(path),
+        detected_failure=False,
+        notes=f"budget of {budget} steps exhausted",
+    )

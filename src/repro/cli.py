@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI exposes the paper's algorithms on generated networks so the library
+can be exercised without writing any Python:
+
+``python -m repro route --family unit-disk --size 40 --radius 0.3 --source 0 --target 17``
+    Route a message with Algorithm ``Route`` and print the outcome, hop count
+    and overhead.
+
+``python -m repro broadcast --family grid --size 25 --source 0``
+    Broadcast from a source and report coverage and cost (also prints the
+    flooding cost for comparison).
+
+``python -m repro count --family unit-disk --size 30 --radius 0.3 --source 0``
+    Run Algorithm ``CountNodes`` and print the discovered component size.
+
+``python -m repro compare --family unit-disk --size 30 --radius 0.3 --pairs 5``
+    Route the same random pairs with the guaranteed router and every baseline
+    and print the comparison table (a miniature of experiment E3).
+
+All commands accept ``--seed`` for reproducibility and ``--dimension 3`` for
+unit-ball (3D) deployments.  Exit status is 0 on success, 2 on bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import ScenarioSpec, build_scenario, pick_source_target_pairs
+from repro.analysis.metrics import (
+    delivery_rate,
+    failure_detection_rate,
+    mean_hops,
+    observation_from_attempt,
+    observation_from_route,
+)
+from repro.analysis.reporting import format_table
+from repro.baselines.dfs_routing import dfs_token_route
+from repro.baselines.flooding import flood_broadcast, flood_route
+from repro.baselines.greedy_geo import greedy_geographic_route
+from repro.baselines.random_walk_routing import random_walk_route
+from repro.core.broadcast import broadcast
+from repro.core.counting import count_nodes
+from repro.core.routing import route
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--family",
+        default="unit-disk",
+        choices=["unit-disk", "grid", "torus", "ring", "prism", "random-regular", "erdos-renyi", "lollipop", "tree"],
+        help="topology family to generate",
+    )
+    parser.add_argument("--size", type=int, default=30, help="number of nodes")
+    parser.add_argument("--radius", type=float, default=0.3, help="radio range (unit-disk only)")
+    parser.add_argument("--dimension", type=int, default=2, choices=[2, 3], help="deployment dimension")
+    parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
+    parser.add_argument(
+        "--namespace-bits", type=int, default=32, help="bits of the name space (paper's log n)"
+    )
+
+
+def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"cli-{args.family}-{args.size}",
+        family=args.family,
+        size=args.size,
+        seed=args.seed,
+        radius=args.radius if args.family == "unit-disk" else None,
+        dimension=args.dimension,
+        namespace_size=2 ** args.namespace_bits,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Guaranteed ad hoc routing via universal exploration sequences (Braverman, PODC 2008)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    route_parser = subparsers.add_parser("route", help="route one message with Algorithm Route")
+    _add_network_arguments(route_parser)
+    route_parser.add_argument("--source", type=int, default=0)
+    route_parser.add_argument("--target", type=int, default=1)
+
+    broadcast_parser = subparsers.add_parser("broadcast", help="broadcast from a source node")
+    _add_network_arguments(broadcast_parser)
+    broadcast_parser.add_argument("--source", type=int, default=0)
+
+    count_parser = subparsers.add_parser("count", help="run Algorithm CountNodes from a source")
+    _add_network_arguments(count_parser)
+    count_parser.add_argument("--source", type=int, default=0)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare the guaranteed router against the baselines"
+    )
+    _add_network_arguments(compare_parser)
+    compare_parser.add_argument("--pairs", type=int, default=5, help="number of random source/target pairs")
+
+    return parser
+
+
+def _command_route(args: argparse.Namespace, out) -> int:
+    network = build_scenario(_scenario_from_args(args))
+    result = route(
+        network.graph,
+        args.source,
+        args.target,
+        namespace_size=network.namespace_size,
+    )
+    rows = [
+        ["outcome", result.outcome.value],
+        ["physical hops", result.physical_hops],
+        ["forward walk steps", result.forward_virtual_steps],
+        ["backtrack steps", result.backward_virtual_steps],
+        ["size bound |C'_s|", result.size_bound],
+        ["sequence length", result.sequence_length],
+        ["header overhead (bits)", result.header_bits],
+    ]
+    print(format_table(["quantity", "value"], rows, title=f"route {args.source} -> {args.target}"), file=out)
+    return 0
+
+
+def _command_broadcast(args: argparse.Namespace, out) -> int:
+    network = build_scenario(_scenario_from_args(args))
+    result = broadcast(network.graph, args.source)
+    flood = flood_broadcast(network.graph, args.source)
+    rows = [
+        ["component size", result.component_size],
+        ["nodes reached", result.reach_count],
+        ["covered component", result.covered_component],
+        ["walk transmissions", result.physical_hops],
+        ["flooding transmissions", flood.transmissions],
+        ["flooding rounds", flood.rounds],
+    ]
+    print(format_table(["quantity", "value"], rows, title=f"broadcast from {args.source}"), file=out)
+    return 0
+
+
+def _command_count(args: argparse.Namespace, out) -> int:
+    network = build_scenario(_scenario_from_args(args))
+    result = count_nodes(network.graph, args.source)
+    rows = [
+        ["original nodes in C_s", result.original_count],
+        ["virtual nodes in C'_s", result.virtual_count],
+        ["doubling rounds", result.rounds],
+        ["final bound 2^k", result.final_bound],
+        ["walk steps", result.walk_steps],
+    ]
+    print(format_table(["quantity", "value"], rows, title=f"CountNodes from {args.source}"), file=out)
+    return 0
+
+
+def _command_compare(args: argparse.Namespace, out) -> int:
+    network = build_scenario(_scenario_from_args(args))
+    graph, deployment = network.graph, network.deployment
+    pairs = pick_source_target_pairs(network, args.pairs, seed=args.seed)
+    observations = {"ues-route": [], "random-walk": [], "flooding": [], "dfs-token": []}
+    if deployment is not None:
+        observations["greedy"] = []
+    for source, target in pairs:
+        observations["ues-route"].append(
+            observation_from_route(graph, route(graph, source, target))
+        )
+        observations["random-walk"].append(
+            observation_from_attempt(
+                graph, source, target, random_walk_route(graph, source, target, seed=args.seed)
+            )
+        )
+        observations["flooding"].append(
+            observation_from_attempt(graph, source, target, flood_route(graph, source, target))
+        )
+        observations["dfs-token"].append(
+            observation_from_attempt(graph, source, target, dfs_token_route(graph, source, target))
+        )
+        if deployment is not None:
+            observations["greedy"].append(
+                observation_from_attempt(
+                    graph, source, target, greedy_geographic_route(graph, deployment, source, target)
+                )
+            )
+    rows = []
+    for name, obs in observations.items():
+        rows.append(
+            [
+                name,
+                len(obs),
+                round(delivery_rate(obs), 3),
+                round(failure_detection_rate(obs), 3),
+                round(mean_hops(obs) or 0.0, 1),
+                max(o.per_node_state_bits for o in obs),
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "pairs", "delivery", "failure detection", "mean hops", "node state bits"],
+            rows,
+            title=f"comparison on {args.family} (n={args.size}, seed={args.seed})",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "route": _command_route,
+        "broadcast": _command_broadcast,
+        "count": _command_count,
+        "compare": _command_compare,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Adversarial analysis of exploration sequences.
+
+Definition 3 quantifies over *every* graph, *every* labeling and *every* start
+edge.  The flip side is that a sequence that is merely "long and random
+looking" can still be defeated by an adversarially chosen port labeling.  This
+module provides the search tools the test-suite and the certification
+machinery use to probe that boundary:
+
+* :func:`find_uncovered_start` — scan all start edges of a graph for one the
+  sequence fails to cover from;
+* :func:`find_adversarial_labeling` — randomised search over port relabelings
+  of a graph for one that defeats the sequence;
+* :func:`shortest_defeating_prefix` — how much of the sequence is actually
+  needed before a given graph is covered from its worst start edge (a lower
+  bound witness on the necessary sequence length).
+
+These searches are exact over what they enumerate (starts) and heuristic over
+what they sample (labelings); a ``None`` result from the sampler therefore
+means "no counterexample found", not a proof of universality — which is
+precisely why :class:`repro.core.universal.CertifiedSequenceProvider` combines
+them with exhaustive enumeration at small sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.exploration import ExplorationSequence, coverage_steps, covers_component
+from repro.graphs.labeled_graph import LabeledGraph
+
+__all__ = [
+    "AdversarialWitness",
+    "find_uncovered_start",
+    "find_adversarial_labeling",
+    "worst_case_coverage_steps",
+    "shortest_defeating_prefix",
+]
+
+
+@dataclass(frozen=True)
+class AdversarialWitness:
+    """A concrete (graph, start edge) pair a sequence fails to cover."""
+
+    graph: LabeledGraph
+    start_vertex: int
+    start_port: int
+    relabeling_seed: Optional[int] = None
+
+
+def find_uncovered_start(
+    graph: LabeledGraph, sequence: ExplorationSequence
+) -> Optional[AdversarialWitness]:
+    """Return a start edge from which ``sequence`` fails to cover, if any.
+
+    Enumerates every (vertex, entry port) pair, so a ``None`` answer is a
+    proof that this particular labeled graph is covered from everywhere.
+    """
+    for vertex in graph.vertices:
+        for port in range(graph.degree(vertex)):
+            if not covers_component(graph, sequence, vertex, port):
+                return AdversarialWitness(graph=graph, start_vertex=vertex, start_port=port)
+    return None
+
+
+def find_adversarial_labeling(
+    graph: LabeledGraph,
+    sequence: ExplorationSequence,
+    attempts: int = 64,
+    seed: int = 0,
+) -> Optional[AdversarialWitness]:
+    """Search random port relabelings of ``graph`` for one the sequence misses.
+
+    The edge set never changes — only the local port labels do, which is
+    exactly the adversary Definition 3 guards against.  Returns the first
+    witness found, or ``None`` after ``attempts`` relabelings.
+    """
+    for attempt in range(attempts):
+        relabeled = graph.with_relabeled_ports(random.Random(seed + attempt))
+        witness = find_uncovered_start(relabeled, sequence)
+        if witness is not None:
+            return AdversarialWitness(
+                graph=relabeled,
+                start_vertex=witness.start_vertex,
+                start_port=witness.start_port,
+                relabeling_seed=seed + attempt,
+            )
+    return None
+
+
+def worst_case_coverage_steps(
+    graph: LabeledGraph, sequence: ExplorationSequence
+) -> Optional[int]:
+    """Largest number of steps needed over all start edges (``None`` if some start fails)."""
+    worst = 0
+    for vertex in graph.vertices:
+        for port in range(graph.degree(vertex)):
+            steps = coverage_steps(graph, sequence, vertex, port)
+            if steps is None:
+                return None
+            worst = max(worst, steps)
+    return worst
+
+
+def shortest_defeating_prefix(
+    graph: LabeledGraph, sequence: ExplorationSequence
+) -> int:
+    """Length below which some prefix of ``sequence`` fails to cover ``graph``.
+
+    Returns the smallest ``L`` such that the length-``L`` prefix covers the
+    graph from every start edge; equivalently, the length-``L-1`` prefix is
+    defeated by some start.  This is the empirical "how long does the sequence
+    really need to be" number the ablation benchmarks report.
+    """
+    worst = worst_case_coverage_steps(graph, sequence)
+    if worst is None:
+        return len(sequence) + 1
+    return worst

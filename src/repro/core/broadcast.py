@@ -1,0 +1,249 @@
+"""Broadcasting along a universal exploration sequence (Theorem 1, last part).
+
+"The same algorithm works for the broadcasting problem, where s wants to send
+the message to all the vertexes in its connected component."  Instead of
+stopping when a particular target is met, the message simply follows the whole
+sequence ``T_n`` — which, by universality, visits every vertex of the
+component — delivering its payload at each node it visits, and then backtracks
+to the source so the source learns the broadcast completed.
+
+As for routing, both a centralised walker (:func:`broadcast`) and a fully
+distributed protocol (:func:`broadcast_on_network`) are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.exploration import WalkState, step_backward, step_forward
+from repro.core.routing import (
+    Direction,
+    RouteOutcome,
+    _DEFAULT_PROVIDER,
+    _header_bits,
+    _resolve_size_bound,
+)
+from repro.core.universal import SequenceProvider
+from repro.errors import RoutingError
+from repro.graphs.connectivity import connected_component
+from repro.graphs.degree_reduction import EXTERNAL_PORT, reduce_to_three_regular
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.network.adhoc import AdHocNetwork
+from repro.network.message import Header, Message
+from repro.network.node import NodeContext
+from repro.network.simulator import Protocol, SimulationResult
+
+__all__ = ["BroadcastResult", "broadcast", "broadcast_on_network", "BroadcastProtocol"]
+
+
+@dataclass(frozen=True)
+class BroadcastResult:
+    """Outcome of one broadcast."""
+
+    source: int
+    reached: frozenset
+    component_size: int
+    covered_component: bool
+    virtual_steps: int
+    physical_hops: int
+    sequence_length: int
+    size_bound: int
+    header_bits: int
+    simulation: Optional[SimulationResult] = None
+
+    @property
+    def reach_count(self) -> int:
+        """Number of distinct original vertices that received the payload."""
+        return len(self.reached)
+
+
+def broadcast(
+    graph: LabeledGraph,
+    source: int,
+    provider: Optional[SequenceProvider] = None,
+    size_bound: Optional[int] = None,
+    start_port: int = 0,
+    namespace_size: Optional[int] = None,
+) -> BroadcastResult:
+    """Broadcast from ``source`` along the exploration sequence (centralised).
+
+    Returns which original vertices were reached; ``covered_component`` is the
+    paper's guarantee (true whenever the sequence really is universal for the
+    component size, which the default provider achieves with overwhelming
+    probability and a certified provider achieves by construction).
+    """
+    if not graph.has_vertex(source):
+        raise RoutingError(f"source {source!r} is not a vertex of the graph")
+    provider = provider if provider is not None else _DEFAULT_PROVIDER
+    reduction = reduce_to_three_regular(graph)
+    reduced = reduction.graph
+    bound = _resolve_size_bound(reduction, source, size_bound)
+    sequence = provider.sequence_for(bound)
+    namespace = namespace_size if namespace_size is not None else max(1, graph.num_vertices)
+
+    state = WalkState(vertex=reduction.gateway(source), entry_port=start_port)
+    reached: Set[int] = {source}
+    physical_hops = 0
+    for index in range(len(sequence)):
+        next_state = step_forward(reduced, state, sequence[index])
+        if reduction.to_original(next_state.vertex) != reduction.to_original(state.vertex):
+            physical_hops += 1
+        state = next_state
+        reached.add(reduction.to_original(state.vertex))
+
+    component = connected_component(graph, source)
+    return BroadcastResult(
+        source=source,
+        reached=frozenset(reached),
+        component_size=len(component),
+        covered_component=component <= reached,
+        virtual_steps=len(sequence),
+        physical_hops=physical_hops,
+        sequence_length=len(sequence),
+        size_bound=bound,
+        header_bits=_header_bits(namespace, len(sequence)),
+    )
+
+
+class BroadcastProtocol(Protocol):
+    """Distributed broadcast: the walk visits the component, delivering everywhere.
+
+    Every node that the walk visits hands the payload to its application the
+    first time it sees it (it remembers having seen it with a single bit of
+    metered memory, well within the O(log n) budget).  After the sequence is
+    exhausted the message backtracks to the source, which then knows the
+    broadcast completed.
+    """
+
+    def __init__(
+        self,
+        network: AdHocNetwork,
+        source: int,
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+        payload: object = None,
+    ) -> None:
+        self._network = network
+        self._source = source
+        self._payload = payload
+        self._provider = provider if provider is not None else _DEFAULT_PROVIDER
+        self._reduction = reduce_to_three_regular(network.graph)
+        self._bound = _resolve_size_bound(self._reduction, source, size_bound)
+        self._sequence = self._provider.sequence_for(self._bound)
+        self._name_bits = network.name_bits
+        self._index_bits = max(1, len(self._sequence).bit_length())
+        self.reached: Set[int] = set()
+
+    def _widths(self) -> Dict[str, int]:
+        return {
+            "source": self._name_bits,
+            "direction": 1,
+            "index": self._index_bits,
+            "size_bound": self._index_bits,
+        }
+
+    def _make_message(self, direction: Direction, index: int) -> Message:
+        header = Header.from_values(
+            self._widths(),
+            {
+                "source": self._network.name_of(self._source),
+                "direction": 0 if direction is Direction.FORWARD else 1,
+                "index": index,
+                "size_bound": self._bound,
+            },
+        )
+        return Message(header=header, payload=self._payload)
+
+    def _deliver_once(self, ctx: NodeContext) -> None:
+        if not ctx.memory.load("broadcast_seen", False):
+            ctx.memory.store("broadcast_seen", True)
+            ctx.deliver(self._payload, note="broadcast payload")
+        self.reached.add(ctx.node_id)
+
+    def _process(self, ctx: NodeContext, state: WalkState, index: int, direction: Direction) -> None:
+        reduced = self._reduction.graph
+        sequence = self._sequence
+        length = len(sequence)
+        while True:
+            owner = self._reduction.to_original(state.vertex)
+            if direction is Direction.FORWARD:
+                self._deliver_once(ctx)
+                if index >= length:
+                    direction = Direction.BACK
+                    continue
+                offset = sequence[index]
+                next_state = step_forward(reduced, state, offset)
+                index += 1
+                if self._reduction.to_original(next_state.vertex) != owner:
+                    physical_port = self._physical_port_of(owner, state.vertex)
+                    ctx.send(physical_port, self._make_message(direction, index))
+                    return
+                state = next_state
+            else:
+                if owner == self._source or index == 0:
+                    ctx.finish(RouteOutcome.SUCCESS)
+                    return
+                offset = sequence[index - 1]
+                previous_state = step_backward(reduced, state, offset)
+                index -= 1
+                if self._reduction.to_original(previous_state.vertex) != owner:
+                    physical_port = self._physical_port_of(owner, state.vertex)
+                    ctx.send(physical_port, self._make_message(direction, index))
+                    return
+                state = previous_state
+
+    def _physical_port_of(self, owner: int, virtual_vertex: int) -> int:
+        cluster = self._reduction.cluster(owner)
+        return 0 if len(cluster) == 1 else cluster.index(virtual_vertex)
+
+    def on_start(self, ctx: NodeContext) -> None:
+        state = WalkState(vertex=self._reduction.gateway(self._source), entry_port=0)
+        self._process(ctx, state, index=0, direction=Direction.FORWARD)
+
+    def on_message(self, ctx: NodeContext, in_port: int, message: Message) -> None:
+        direction = Direction.FORWARD if message.header.get("direction") == 0 else Direction.BACK
+        index = int(message.header.get("index"))
+        virtual = self._reduction.carrier(ctx.node_id, in_port)
+        if direction is Direction.FORWARD:
+            state = WalkState(vertex=virtual, entry_port=EXTERNAL_PORT)
+        else:
+            offset = self._sequence[index]
+            degree = self._reduction.graph.degree(virtual)
+            state = WalkState(vertex=virtual, entry_port=(EXTERNAL_PORT - offset) % degree)
+        self._process(ctx, state, index, direction)
+
+
+def broadcast_on_network(
+    network: AdHocNetwork,
+    source: int,
+    provider: Optional[SequenceProvider] = None,
+    size_bound: Optional[int] = None,
+    payload: object = None,
+    node_memory_bits: Optional[int] = None,
+    max_events: Optional[int] = None,
+) -> BroadcastResult:
+    """Run the distributed broadcast on a simulated network."""
+    protocol = BroadcastProtocol(
+        network, source=source, provider=provider, size_bound=size_bound, payload=payload
+    )
+    simulator = network.simulator(node_memory_bits=node_memory_bits)
+    length = len(protocol._sequence)
+    budget = max_events if max_events is not None else 4 * length + 64
+    result = simulator.run(protocol, initiators=[source], max_events=budget)
+    if result.result_at(source) is None:
+        raise RoutingError("the source never learned that the broadcast completed")
+    component = connected_component(network.graph, source)
+    reached = frozenset(protocol.reached)
+    return BroadcastResult(
+        source=source,
+        reached=reached,
+        component_size=len(component),
+        covered_component=component <= set(reached),
+        virtual_steps=length,
+        physical_hops=result.stats.transmissions,
+        sequence_length=length,
+        size_bound=protocol._bound,
+        header_bits=result.stats.max_header_bits,
+        simulation=result,
+    )

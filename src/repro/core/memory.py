@@ -1,0 +1,138 @@
+"""O(log n) space accounting (the resource model of Section 1.1).
+
+The paper's model restricts every node to ``O(log n)`` bits of working memory
+and allows an ``O(log n)`` overhead on messages, where ``n`` is the size of
+the global namespace from which node names are drawn (e.g. ``2^32`` for IPv4).
+These helpers make the bound *measurable* rather than rhetorical: nodes of the
+network simulator store their protocol state in a :class:`MemoryMeter`, and
+message headers are bit-accounted against the same yardstick (experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import MemoryBudgetExceeded
+
+__all__ = [
+    "bits_for_namespace",
+    "bits_for_value",
+    "MemoryMeter",
+    "MemorySnapshot",
+]
+
+
+def bits_for_namespace(namespace_size: int) -> int:
+    """Number of bits needed to name one element of a namespace of the given size."""
+    if namespace_size < 1:
+        raise ValueError("namespace_size must be positive")
+    return max(1, (namespace_size - 1).bit_length())
+
+
+def bits_for_value(value: object) -> int:
+    """Bits needed to store a single scalar protocol value.
+
+    Integers cost their binary length (at least one bit), booleans cost one
+    bit, ``None`` costs nothing, and strings cost eight bits per character.
+    Anything else is rejected: protocol state must be made of scalars so the
+    accounting stays meaningful.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, abs(int(value)).bit_length()) + (1 if value < 0 else 0)
+    if isinstance(value, str):
+        return 8 * len(value)
+    raise TypeError(f"cannot account memory for value of type {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """A point-in-time view of a meter, used for experiment reporting."""
+
+    used_bits: int
+    high_water_bits: int
+    budget_bits: Optional[int]
+    entries: Tuple[Tuple[str, int], ...]
+
+    @property
+    def within_budget(self) -> bool:
+        """True when the high-water mark never exceeded the budget (if any)."""
+        return self.budget_bits is None or self.high_water_bits <= self.budget_bits
+
+
+class MemoryMeter:
+    """A tiny key-value store that charges every write against a bit budget.
+
+    Protocol handlers store *all* their per-node state here.  When a budget is
+    configured, exceeding it raises :class:`MemoryBudgetExceeded`; without a
+    budget the meter still records the high-water mark so experiments can
+    report how much memory the algorithm actually needed.
+    """
+
+    def __init__(self, budget_bits: Optional[int] = None, label: str = "") -> None:
+        self._budget_bits = budget_bits
+        self._label = label
+        self._entries: Dict[str, int] = {}
+        self._values: Dict[str, object] = {}
+        self._high_water = 0
+
+    @property
+    def budget_bits(self) -> Optional[int]:
+        """The configured budget, or ``None`` for metering-only mode."""
+        return self._budget_bits
+
+    @property
+    def used_bits(self) -> int:
+        """Bits currently in use."""
+        return sum(self._entries.values())
+
+    @property
+    def high_water_bits(self) -> int:
+        """Largest number of bits ever simultaneously in use."""
+        return self._high_water
+
+    def store(self, key: str, value: object) -> None:
+        """Store ``value`` under ``key``, charging its size against the budget."""
+        cost = bits_for_value(value)
+        projected = self.used_bits - self._entries.get(key, 0) + cost
+        if self._budget_bits is not None and projected > self._budget_bits:
+            raise MemoryBudgetExceeded(
+                f"storing {key!r} would use {projected} bits "
+                f"(budget {self._budget_bits}) at node {self._label or '?'}",
+                used_bits=projected,
+                budget_bits=self._budget_bits,
+            )
+        self._entries[key] = cost
+        self._values[key] = value
+        self._high_water = max(self._high_water, projected)
+
+    def load(self, key: str, default: object = None) -> object:
+        """Read a stored value (``default`` when absent)."""
+        return self._values.get(key, default)
+
+    def delete(self, key: str) -> None:
+        """Remove a stored value, releasing its bits (no-op when absent)."""
+        self._entries.pop(key, None)
+        self._values.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all stored values (the high-water mark is retained)."""
+        self._entries.clear()
+        self._values.clear()
+
+    def keys(self) -> Iterable[str]:
+        """Currently stored keys."""
+        return tuple(self._entries)
+
+    def snapshot(self) -> MemorySnapshot:
+        """Return an immutable view for reporting."""
+        return MemorySnapshot(
+            used_bits=self.used_bits,
+            high_water_bits=self._high_water,
+            budget_bits=self._budget_bits,
+            entries=tuple(sorted(self._entries.items())),
+        )

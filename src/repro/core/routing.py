@@ -1,0 +1,491 @@
+"""Algorithm ``Route`` — guaranteed ad hoc routing (Section 3, Theorem 1).
+
+The algorithm routes a message from a source ``s`` to a target ``t`` by
+following a universal exploration sequence over the degree-reduced (3-regular)
+version of the network.  The message header carries only
+
+    ``(s, t, dir, status, i)``
+
+— the two endpoint names, one direction bit, one status bit and the current
+index into the exploration sequence — i.e. ``O(log n)`` bits.  Intermediate
+nodes store nothing.  If the target lies in the source's connected component
+the walk is guaranteed to reach it; otherwise the walk runs out of sequence
+and, thanks to the reversibility of exploration sequences, backtracks to the
+source carrying a *failure* confirmation.  Either way the source learns the
+outcome.
+
+Two interchangeable realisations are provided:
+
+* :func:`route` — a centralised walker that executes the exact same step rule
+  directly on the graph.  It is fast and is what the benchmark harness sweeps.
+* :func:`route_on_network` — the fully distributed version: a
+  :class:`~repro.network.simulator.Protocol` where each physical node locally
+  simulates its virtual (degree-reduction) nodes, all transient state travels
+  in the message header, and every physical transmission is simulated and
+  accounted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.exploration import ExplorationSequence, WalkState, step_backward, step_forward
+from repro.core.memory import bits_for_namespace
+from repro.core.universal import RandomSequenceProvider, SequenceProvider
+from repro.errors import RoutingError
+from repro.graphs.connectivity import connected_component
+from repro.graphs.degree_reduction import EXTERNAL_PORT, DegreeReducedGraph, reduce_to_three_regular
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.network.adhoc import AdHocNetwork
+from repro.network.message import Header, Message
+from repro.network.node import NodeContext
+from repro.network.simulator import Protocol, SimulationResult, Simulator
+
+__all__ = [
+    "Direction",
+    "RouteOutcome",
+    "RoutingHeader",
+    "RouteResult",
+    "route",
+    "route_on_network",
+    "RouteProtocol",
+    "default_provider",
+]
+
+#: Shared default sequence provider so repeated calls reuse cached sequences.
+_DEFAULT_PROVIDER = RandomSequenceProvider(seed=2008)
+
+
+def default_provider() -> RandomSequenceProvider:
+    """The library-wide default exploration-sequence provider."""
+    return _DEFAULT_PROVIDER
+
+
+class Direction(enum.Enum):
+    """Travel direction of the routed message (the header's ``dir`` bit)."""
+
+    FORWARD = "forward"
+    BACK = "back"
+
+
+class RouteOutcome(enum.Enum):
+    """Final verdict reported back at the source (the header's ``status`` bit)."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+
+
+@dataclass(frozen=True)
+class RoutingHeader:
+    """The paper's message header ``(s, t, dir, status, i)`` plus the size bound.
+
+    ``size_bound`` is the bound ``n`` on the number of vertices of the reduced
+    connected component that selects which sequence ``T_n`` the nodes follow.
+    Section 3 first assumes it is known; Section 4 (Algorithm ``CountNodes``)
+    shows how the source discovers it, after which it simply rides along in
+    the header — still ``O(log n)`` bits.
+    """
+
+    source: int
+    target: int
+    direction: Direction
+    status: Optional[RouteOutcome]
+    index: int
+    size_bound: int
+
+    def bit_widths(self, name_bits: int, index_bits: int) -> Dict[str, int]:
+        """Declared header field widths for the given name/index bit budgets."""
+        return {
+            "source": name_bits,
+            "target": name_bits,
+            "direction": 1,
+            "status": 2,
+            "index": index_bits,
+            "size_bound": index_bits,
+        }
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Everything a single routing attempt produced.
+
+    ``outcome`` is the verdict the source ends up holding; ``delivered`` says
+    whether the payload actually reached the target (for a correct run these
+    agree: SUCCESS iff delivered).  Step counts distinguish the walk on the
+    reduced graph (``virtual``) from actual physical transmissions.
+    """
+
+    outcome: RouteOutcome
+    delivered: bool
+    source: int
+    target: int
+    size_bound: int
+    sequence_length: int
+    forward_virtual_steps: int
+    backward_virtual_steps: int
+    physical_hops: int
+    target_found_at_step: Optional[int]
+    header_bits: int
+    node_memory_high_water_bits: int = 0
+    simulation: Optional[SimulationResult] = None
+
+    @property
+    def total_virtual_steps(self) -> int:
+        """Forward plus backward steps on the reduced graph."""
+        return self.forward_virtual_steps + self.backward_virtual_steps
+
+    @property
+    def confirmed(self) -> bool:
+        """True — the algorithm always returns a confirmation to the source."""
+        return True
+
+
+def _resolve_size_bound(
+    reduction: DegreeReducedGraph, source: int, size_bound: Optional[int]
+) -> int:
+    """Bound on the reduced component size used to pick ``T_n``.
+
+    When the caller does not supply one we use the true size of the source's
+    component in the reduced graph — exactly the quantity Algorithm
+    ``CountNodes`` (Section 4) computes without global knowledge; see
+    :func:`repro.core.counting.count_nodes`.
+    """
+    if size_bound is not None:
+        if size_bound < 1:
+            raise RoutingError("size_bound must be positive")
+        return size_bound
+    gateway = reduction.gateway(source)
+    return len(connected_component(reduction.graph, gateway))
+
+
+def _header_bits(namespace_size: int, sequence_length: int) -> int:
+    """Total header size in bits for a given namespace and sequence length."""
+    name_bits = bits_for_namespace(namespace_size)
+    index_bits = max(1, sequence_length.bit_length())
+    return 2 * name_bits + 1 + 2 + 2 * index_bits
+
+
+# --------------------------------------------------------------------------- #
+# Centralised walker
+# --------------------------------------------------------------------------- #
+
+
+def route(
+    graph: LabeledGraph,
+    source: int,
+    target: int,
+    provider: Optional[SequenceProvider] = None,
+    size_bound: Optional[int] = None,
+    start_port: int = 0,
+    namespace_size: Optional[int] = None,
+) -> RouteResult:
+    """Run Algorithm ``Route`` from ``source`` towards ``target`` on ``graph``.
+
+    ``graph`` is the physical network (arbitrary degrees); it is degree-reduced
+    internally.  ``target`` may name a vertex outside the source's component
+    — or a vertex that does not exist at all — in which case the result's
+    outcome is :data:`RouteOutcome.FAILURE`, obtained after the walk exhausts
+    the sequence and backtracks, exactly as in the paper.
+
+    Parameters
+    ----------
+    provider:
+        Exploration-sequence provider (defaults to the shared library
+        provider).
+    size_bound:
+        Bound on the reduced component size.  ``None`` uses the true size
+        (what ``CountNodes`` would report).
+    start_port:
+        Entry port of the initial edge at the source's gateway virtual node.
+    namespace_size:
+        Only used for header-size accounting; defaults to the number of
+        vertices.
+    """
+    if not graph.has_vertex(source):
+        raise RoutingError(f"source {source!r} is not a vertex of the graph")
+    provider = provider if provider is not None else _DEFAULT_PROVIDER
+    reduction = reduce_to_three_regular(graph)
+    reduced = reduction.graph
+    bound = _resolve_size_bound(reduction, source, size_bound)
+    sequence = provider.sequence_for(bound)
+    length = len(sequence)
+    namespace = namespace_size if namespace_size is not None else max(1, graph.num_vertices)
+
+    state = WalkState(vertex=reduction.gateway(source), entry_port=start_port)
+    index = 0
+    forward_steps = 0
+    physical_hops = 0
+    target_found_at: Optional[int] = None
+    outcome: Optional[RouteOutcome] = None
+
+    # Forward phase: follow the sequence until the target is met or the
+    # sequence is exhausted.
+    while True:
+        if reduction.to_original(state.vertex) == target:
+            outcome = RouteOutcome.SUCCESS
+            target_found_at = forward_steps
+            break
+        if index >= length:
+            outcome = RouteOutcome.FAILURE
+            break
+        next_state = step_forward(reduced, state, sequence[index])
+        index += 1
+        forward_steps += 1
+        if reduction.to_original(next_state.vertex) != reduction.to_original(state.vertex):
+            physical_hops += 1
+        state = next_state
+
+    # Backward phase: retrace the walk (reversibility, Section 2) until a
+    # virtual node of the source is reached, carrying the status.
+    backward_steps = 0
+    while reduction.to_original(state.vertex) != source and index > 0:
+        previous_state = step_backward(reduced, state, sequence[index - 1])
+        index -= 1
+        backward_steps += 1
+        if reduction.to_original(previous_state.vertex) != reduction.to_original(state.vertex):
+            physical_hops += 1
+        state = previous_state
+    if reduction.to_original(state.vertex) != source:
+        # The walk started at the source, so index == 0 implies we are back at
+        # the start state; reaching this line would mean the reversibility
+        # invariant was violated.
+        raise RoutingError("backtracking failed to return to the source")
+
+    return RouteResult(
+        outcome=outcome,
+        delivered=outcome is RouteOutcome.SUCCESS,
+        source=source,
+        target=target,
+        size_bound=bound,
+        sequence_length=length,
+        forward_virtual_steps=forward_steps,
+        backward_virtual_steps=backward_steps,
+        physical_hops=physical_hops,
+        target_found_at_step=target_found_at,
+        header_bits=_header_bits(namespace, length),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Distributed protocol
+# --------------------------------------------------------------------------- #
+
+
+class RouteProtocol(Protocol):
+    """The distributed realisation of Algorithm ``Route``.
+
+    Every physical node locally simulates the virtual nodes its degree-
+    reduction cluster contributes (Fig. 1: "Each node v simulates O(deg(v))
+    nodes of degree 3").  A node that receives the message reconstructs the
+    virtual walk position from its arrival port alone, advances the walk
+    through its own virtual nodes — consulting only its locally derivable
+    cluster structure and the shared deterministic sequence ``T_n`` — and
+    forwards the message over the physical port on which the walk leaves its
+    cluster.  No per-node state survives between messages.
+    """
+
+    def __init__(
+        self,
+        network: AdHocNetwork,
+        source: int,
+        target: int,
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+        payload: object = None,
+    ) -> None:
+        self._network = network
+        self._source = source
+        self._target = target
+        self._payload = payload
+        self._provider = provider if provider is not None else _DEFAULT_PROVIDER
+        # The reduction is computed once and shared, but handlers only ever
+        # consult the slice of it describing their own node (cluster members,
+        # their rotation entries and the carrier lookup); that slice is
+        # locally computable from the node's own degree, so the locality
+        # discipline of the model is respected.
+        self._reduction = reduce_to_three_regular(network.graph)
+        self._bound = _resolve_size_bound(self._reduction, source, size_bound)
+        self._sequence = self._provider.sequence_for(self._bound)
+        self._name_bits = network.name_bits
+        self._index_bits = max(1, len(self._sequence).bit_length())
+        self.delivered_at_target = False
+        self.target_found_at_step: Optional[int] = None
+
+    # -- header helpers -------------------------------------------------- #
+
+    def _widths(self) -> Dict[str, int]:
+        return {
+            "source": self._name_bits,
+            "target": self._name_bits,
+            "direction": 1,
+            "status": 2,
+            "index": self._index_bits,
+            "size_bound": self._index_bits,
+        }
+
+    def _make_message(
+        self, direction: Direction, status: Optional[RouteOutcome], index: int
+    ) -> Message:
+        header = Header.from_values(
+            self._widths(),
+            {
+                "source": self._network.name_of(self._source),
+                "target": self._network.name_of(self._target)
+                if self._target in self._network.names
+                else self._target,
+                "direction": 0 if direction is Direction.FORWARD else 1,
+                "status": {None: 0, RouteOutcome.SUCCESS: 1, RouteOutcome.FAILURE: 2}[status],
+                "index": index,
+                "size_bound": self._bound,
+            },
+        )
+        return Message(header=header, payload=self._payload)
+
+    @staticmethod
+    def _decode(message: Message) -> Tuple[Direction, Optional[RouteOutcome], int]:
+        direction = Direction.FORWARD if message.header.get("direction") == 0 else Direction.BACK
+        status_code = message.header.get("status")
+        status = {0: None, 1: RouteOutcome.SUCCESS, 2: RouteOutcome.FAILURE}[status_code]
+        return direction, status, int(message.header.get("index"))
+
+    # -- local walk processing ------------------------------------------- #
+
+    def _process(
+        self,
+        ctx: NodeContext,
+        state: WalkState,
+        index: int,
+        direction: Direction,
+        status: Optional[RouteOutcome],
+    ) -> None:
+        """Advance the walk locally until it leaves this node or terminates."""
+        reduced = self._reduction.graph
+        sequence = self._sequence
+        length = len(sequence)
+        node_id = ctx.node_id
+        while True:
+            owner = self._reduction.to_original(state.vertex)
+            if direction is Direction.FORWARD:
+                if owner == self._target:
+                    if not self.delivered_at_target:
+                        self.delivered_at_target = True
+                        self.target_found_at_step = index
+                        ctx.deliver(self._payload, note="routed payload")
+                    direction = Direction.BACK
+                    status = RouteOutcome.SUCCESS
+                    continue
+                if index >= length:
+                    direction = Direction.BACK
+                    status = RouteOutcome.FAILURE
+                    continue
+                offset = sequence[index]
+                next_state = step_forward(reduced, state, offset)
+                index += 1
+                next_owner = self._reduction.to_original(next_state.vertex)
+                if next_owner != owner:
+                    # A cluster-leaving step always exits through the virtual
+                    # node's external port, whose physical counterpart is the
+                    # original port that virtual node carries.
+                    physical_port = self._physical_port_of(owner, state.vertex)
+                    ctx.send(physical_port, self._make_message(direction, status, index))
+                    return
+                state = next_state
+            else:
+                if owner == self._source:
+                    ctx.finish(status)
+                    return
+                if index == 0:
+                    ctx.finish(status)
+                    return
+                offset = sequence[index - 1]
+                previous_state = step_backward(reduced, state, offset)
+                index -= 1
+                previous_owner = self._reduction.to_original(previous_state.vertex)
+                if previous_owner != owner:
+                    physical_port = self._physical_port_of(owner, state.vertex)
+                    ctx.send(physical_port, self._make_message(direction, status, index))
+                    return
+                state = previous_state
+
+    def _physical_port_of(self, owner: int, virtual_vertex: int) -> int:
+        """Physical port of ``owner`` whose external edge this virtual vertex carries."""
+        cluster = self._reduction.cluster(owner)
+        if len(cluster) == 1:
+            return 0
+        return cluster.index(virtual_vertex)
+
+    # -- Protocol interface ----------------------------------------------- #
+
+    def on_start(self, ctx: NodeContext) -> None:
+        state = WalkState(vertex=self._reduction.gateway(self._source), entry_port=0)
+        self._process(ctx, state, index=0, direction=Direction.FORWARD, status=None)
+
+    def on_message(self, ctx: NodeContext, in_port: int, message: Message) -> None:
+        direction, status, index = self._decode(message)
+        virtual = self._reduction.carrier(ctx.node_id, in_port)
+        if direction is Direction.FORWARD:
+            state = WalkState(vertex=virtual, entry_port=EXTERNAL_PORT)
+        else:
+            # The sender already undid step ``index``; reconstruct the entry
+            # port of the pre-step state locally from the same offset.
+            offset = self._sequence[index]
+            degree = self._reduction.graph.degree(virtual)
+            state = WalkState(vertex=virtual, entry_port=(EXTERNAL_PORT - offset) % degree)
+        self._process(ctx, state, index, direction, status)
+
+
+def route_on_network(
+    network: AdHocNetwork,
+    source: int,
+    target: int,
+    provider: Optional[SequenceProvider] = None,
+    size_bound: Optional[int] = None,
+    payload: object = None,
+    node_memory_bits: Optional[int] = None,
+    max_events: Optional[int] = None,
+) -> RouteResult:
+    """Run the distributed Algorithm ``Route`` on a simulated network.
+
+    This is the end-to-end reproduction of Theorem 1: the message is actually
+    transmitted hop by hop, every header is bit-accounted, per-node memory is
+    metered, and the source node ends the run holding the success/failure
+    verdict.
+    """
+    if not network.graph.has_vertex(source):
+        raise RoutingError(f"source {source!r} is not a node of the network")
+    protocol = RouteProtocol(
+        network,
+        source=source,
+        target=target,
+        provider=provider,
+        size_bound=size_bound,
+        payload=payload,
+    )
+    simulator = network.simulator(node_memory_bits=node_memory_bits)
+    length = len(protocol._sequence)
+    budget = max_events if max_events is not None else 4 * length + 64
+    result = simulator.run(protocol, initiators=[source], max_events=budget)
+    status = result.result_at(source)
+    if status is None:
+        raise RoutingError(
+            "the source never received a confirmation; the simulation budget "
+            "may be too small or the protocol violated an invariant"
+        )
+    outcome = status if isinstance(status, RouteOutcome) else RouteOutcome(status)
+    return RouteResult(
+        outcome=outcome,
+        delivered=protocol.delivered_at_target,
+        source=source,
+        target=target,
+        size_bound=protocol._bound,
+        sequence_length=length,
+        forward_virtual_steps=protocol.target_found_at_step or 0,
+        backward_virtual_steps=0,
+        physical_hops=result.stats.transmissions,
+        target_found_at_step=protocol.target_found_at_step,
+        header_bits=result.stats.max_header_bits,
+        node_memory_high_water_bits=simulator.memory_high_water_bits(),
+        simulation=result,
+    )

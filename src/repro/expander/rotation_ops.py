@@ -1,0 +1,128 @@
+"""Rotation-map operations: self-loop padding, powering and the zig-zag product.
+
+All operations consume and produce
+:class:`~repro.graphs.labeled_graph.LabeledGraph` instances (which *are*
+rotation maps) and keep explicit mappings from the composite vertices of the
+result back to the operands, so tests can verify the defining identities
+vertex by vertex.
+
+Conventions follow Reingold / Rozenman–Vadhan:
+
+* ``G^k`` — a step along port ``(a_1, ..., a_k)`` follows the ports in order;
+  the arrival port is the reversed tuple of arrival ports.
+* ``G ⓩ H`` — for ``G`` a ``D``-regular graph and ``H`` a ``d``-regular graph
+  on ``D`` vertices, the product has vertex set ``V(G) × [D]`` and degree
+  ``d²``; a step along port ``(i, j)`` performs a small H-step ``i``, a big
+  G-step along the resulting port, and a small H-step ``j``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+from repro.errors import GraphStructureError, NotRegularError
+from repro.graphs.labeled_graph import LabeledGraph
+
+__all__ = ["add_self_loops", "graph_square", "graph_power", "zigzag_product"]
+
+HalfEdge = Tuple[int, int]
+
+
+def add_self_loops(graph: LabeledGraph, target_degree: int) -> LabeledGraph:
+    """Pad every vertex with half-loops until it has ``target_degree`` ports.
+
+    This is the standard regularisation step before the zig-zag recursion:
+    self-loops do not change connectivity and only dilute the spectral gap by
+    a known factor.
+    """
+    if target_degree < graph.max_degree():
+        raise GraphStructureError(
+            f"target degree {target_degree} is below the maximum degree {graph.max_degree()}"
+        )
+    rotation: Dict[HalfEdge, HalfEdge] = graph.rotation_map()
+    for v in graph.vertices:
+        for port in range(graph.degree(v), target_degree):
+            rotation[(v, port)] = (v, port)
+    return LabeledGraph(rotation)
+
+
+def graph_square(graph: LabeledGraph) -> LabeledGraph:
+    """The square ``G²`` of a regular graph (paths of length 2 become edges)."""
+    return graph_power(graph, 2)
+
+
+def graph_power(graph: LabeledGraph, exponent: int) -> LabeledGraph:
+    """The ``k``-th power ``G^k`` of a ``D``-regular graph as a rotation map.
+
+    The result is ``D^k``-regular on the same vertex set; port
+    ``(a_1, ..., a_k)`` (encoded as an integer in base ``D``) walks the ports
+    in order, and the arrival port encodes the reversed arrival ports, making
+    the result a valid involution.
+    """
+    if exponent < 1:
+        raise GraphStructureError("graph_power requires exponent >= 1")
+    degree = graph.require_regular()
+    if degree == 0:
+        raise NotRegularError("graph_power requires positive degree")
+    if exponent == 1:
+        return LabeledGraph(graph.rotation_map())
+
+    def encode(ports: Tuple[int, ...]) -> int:
+        value = 0
+        for port in ports:
+            value = value * degree + port
+        return value
+
+    rotation: Dict[HalfEdge, HalfEdge] = {}
+    for v in graph.vertices:
+        for ports in itertools.product(range(degree), repeat=exponent):
+            current = v
+            arrival_ports: List[int] = []
+            for port in ports:
+                current, arrived = graph.rotation(current, port)
+                arrival_ports.append(arrived)
+            rotation[(v, encode(ports))] = (current, encode(tuple(reversed(arrival_ports))))
+    return LabeledGraph(rotation)
+
+
+def zigzag_product(big: LabeledGraph, small: LabeledGraph) -> LabeledGraph:
+    """The zig-zag product ``big ⓩ small``.
+
+    ``big`` must be ``D``-regular and ``small`` must be a ``d``-regular graph
+    whose vertex set is exactly ``0 .. D-1``.  The result is a ``d²``-regular
+    graph on ``|V(big)| * D`` vertices (vertex ``(v, a)`` is encoded as
+    ``v * D + a``), connected whenever both operands are connected, and with
+    second eigenvalue bounded by a function of the operands' — the property
+    the main transformation amplifies.
+    """
+    big_degree = big.require_regular()
+    small_degree = small.require_regular()
+    if set(small.vertices) != set(range(big_degree)):
+        raise GraphStructureError(
+            "the small graph's vertex set must be exactly 0..D-1 where D is the "
+            f"big graph's degree (got {small.num_vertices} vertices for degree {big_degree})"
+        )
+
+    def vertex(v: int, a: int) -> int:
+        return v * big_degree + a
+
+    def port(i: int, j: int) -> int:
+        return i * small_degree + j
+
+    rotation: Dict[HalfEdge, HalfEdge] = {}
+    for v in big.vertices:
+        for a in range(big_degree):
+            for i in range(small_degree):
+                for j in range(small_degree):
+                    # Zig: small step i inside the cloud of v.
+                    a_mid, i_back = small.rotation(a, i)
+                    # Big step along the port the zig selected.
+                    w, b_mid = big.rotation(v, a_mid)
+                    # Zag: small step j inside the cloud of w.
+                    b_final, j_back = small.rotation(b_mid, j)
+                    rotation[(vertex(v, a), port(i, j))] = (
+                        vertex(w, b_final),
+                        port(j_back, i_back),
+                    )
+    return LabeledGraph(rotation)

@@ -1,0 +1,32 @@
+"""Computational-geometry substrate for ad hoc network deployments.
+
+The paper's motivating setting is a wireless ad hoc network whose nodes have
+physical positions (their "unique universal names (e.g. physical locations)").
+This subpackage provides the geometric machinery needed to instantiate that
+setting and the position-based baseline algorithms the paper's references
+discuss:
+
+* random node deployments in the unit square / unit cube,
+* unit-disk connectivity graphs in 2D and 3D,
+* the Gabriel-graph and relative-neighbourhood-graph planar subgraphs that
+  greedy-face-greedy (GFG/GPSR) routing requires, and
+* face-traversal helpers for the face-routing baseline.
+"""
+
+from repro.geometry.points import Point, distance, midpoint
+from repro.geometry.deployment import Deployment, random_deployment, grid_deployment
+from repro.geometry.unit_disk import unit_disk_graph, critical_radius
+from repro.geometry.planar import gabriel_subgraph, relative_neighborhood_subgraph
+
+__all__ = [
+    "Point",
+    "distance",
+    "midpoint",
+    "Deployment",
+    "random_deployment",
+    "grid_deployment",
+    "unit_disk_graph",
+    "critical_radius",
+    "gabriel_subgraph",
+    "relative_neighborhood_subgraph",
+]

@@ -1,0 +1,159 @@
+"""Node deployments: positioned node sets for ad hoc network construction.
+
+A :class:`Deployment` is a mapping from integer node ids to
+:class:`~repro.geometry.points.Point` positions.  It is the input to the
+unit-disk graph builder and to the position-based routing baselines (greedy
+and greedy-face-greedy), which require nodes to know their own coordinates and
+those of their neighbours.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.points import Point, distance
+
+__all__ = ["Deployment", "random_deployment", "grid_deployment", "clustered_deployment"]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """An immutable assignment of positions to node identifiers."""
+
+    positions: Mapping[int, Point]
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise GeometryError("a deployment must contain at least one node")
+        dimensions = {p.dimension for p in self.positions.values()}
+        if len(dimensions) != 1:
+            raise GeometryError("all nodes of a deployment must share a dimension")
+
+    @property
+    def dimension(self) -> int:
+        """Spatial dimension of the deployment (2 or 3)."""
+        return next(iter(self.positions.values())).dimension
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        """Node ids in increasing order."""
+        return tuple(sorted(self.positions))
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.node_ids)
+
+    def position(self, node_id: int) -> Point:
+        """Position of ``node_id``."""
+        try:
+            return self.positions[node_id]
+        except KeyError:
+            raise GeometryError(f"unknown node {node_id!r}") from None
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two deployed nodes."""
+        return distance(self.position(a), self.position(b))
+
+    def nearest_node(self, point: Point) -> int:
+        """Node id whose position is closest to ``point``."""
+        return min(self.node_ids, key=lambda node: distance(self.positions[node], point))
+
+    def pairwise_distances(self) -> Dict[Tuple[int, int], float]:
+        """All pairwise distances, keyed by ``(smaller_id, larger_id)``."""
+        ids = self.node_ids
+        return {
+            (ids[i], ids[j]): self.distance(ids[i], ids[j])
+            for i in range(len(ids))
+            for j in range(i + 1, len(ids))
+        }
+
+    def bounding_box(self) -> Tuple[Tuple[float, float], ...]:
+        """Per-axis ``(min, max)`` ranges of the deployed positions."""
+        points = [p.coordinates() for p in self.positions.values()]
+        axes = len(points[0])
+        return tuple(
+            (min(p[axis] for p in points), max(p[axis] for p in points))
+            for axis in range(axes)
+        )
+
+
+def random_deployment(
+    n: int,
+    dimension: int = 2,
+    seed: int = 0,
+    side: float = 1.0,
+) -> Deployment:
+    """Deploy ``n`` nodes uniformly at random in a square/cube of the given side.
+
+    The generator is deterministic for a fixed seed, which is what the
+    experiment harness relies on for reproducibility.
+    """
+    if n < 1:
+        raise GeometryError("random_deployment requires n >= 1")
+    if dimension not in (2, 3):
+        raise GeometryError("dimension must be 2 or 3")
+    rng = random.Random(seed)
+    positions: Dict[int, Point] = {}
+    for node in range(n):
+        if dimension == 2:
+            positions[node] = Point.planar(rng.uniform(0, side), rng.uniform(0, side))
+        else:
+            positions[node] = Point.spatial(
+                rng.uniform(0, side), rng.uniform(0, side), rng.uniform(0, side)
+            )
+    return Deployment(positions)
+
+
+def grid_deployment(rows: int, cols: int, spacing: float = 1.0) -> Deployment:
+    """Deploy nodes on a regular 2D grid (row-major node ids)."""
+    if rows < 1 or cols < 1:
+        raise GeometryError("grid_deployment requires positive dimensions")
+    positions = {
+        r * cols + c: Point.planar(c * spacing, r * spacing)
+        for r in range(rows)
+        for c in range(cols)
+    }
+    return Deployment(positions)
+
+
+def clustered_deployment(
+    clusters: int,
+    nodes_per_cluster: int,
+    cluster_radius: float = 0.05,
+    dimension: int = 2,
+    seed: int = 0,
+    side: float = 1.0,
+) -> Deployment:
+    """Deploy nodes in tight clusters with sparse inter-cluster space.
+
+    Clustered deployments produce unit-disk graphs with pronounced
+    bottlenecks, the regime where greedy routing gets stuck in voids and the
+    guaranteed-delivery property of the paper's algorithm matters most.
+    """
+    if clusters < 1 or nodes_per_cluster < 1:
+        raise GeometryError("clusters and nodes_per_cluster must be positive")
+    rng = random.Random(seed)
+    positions: Dict[int, Point] = {}
+    node = 0
+    for _ in range(clusters):
+        if dimension == 2:
+            center = Point.planar(rng.uniform(0, side), rng.uniform(0, side))
+        else:
+            center = Point.spatial(
+                rng.uniform(0, side), rng.uniform(0, side), rng.uniform(0, side)
+            )
+        for _ in range(nodes_per_cluster):
+            dx = rng.uniform(-cluster_radius, cluster_radius)
+            dy = rng.uniform(-cluster_radius, cluster_radius)
+            if dimension == 2:
+                positions[node] = Point.planar(center.x + dx, center.y + dy)
+            else:
+                dz = rng.uniform(-cluster_radius, cluster_radius)
+                positions[node] = Point.spatial(center.x + dx, center.y + dy, center.z + dz)
+            node += 1
+    return Deployment(positions)

@@ -1,0 +1,243 @@
+"""Degree reduction to 3-regular graphs (Fig. 1 of the paper).
+
+The exploration-sequence machinery of Section 2 is phrased for 3-regular
+graphs; an arbitrary network ``G`` is first transformed into a 3-regular
+multigraph ``G'`` in which every node ``v`` "simulates" ``O(deg(v))`` virtual
+nodes of degree 3.  The construction follows the standard recipe the paper
+cites (Koucky's thesis, p. 80):
+
+* a vertex of degree ``d >= 3`` becomes a cycle of ``d`` virtual nodes; the
+  k-th virtual node inherits the original edge that had port ``k`` at ``v``
+  on its port 0 and uses ports 1/2 for the cycle;
+* a vertex of degree 2 becomes two virtual nodes joined by a double edge;
+* a vertex of degree 1 becomes one virtual node with a self-loop occupying
+  its two spare ports;
+* an isolated vertex becomes one virtual node with three half-loops.
+
+The transformation at most squares the number of vertices (in fact
+``|V'| = sum_v max(deg(v), 1) <= 2|E| + |V|``) and preserves connectivity of
+every component, which is all Theorem 1 needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import GraphStructureError
+from repro.graphs.labeled_graph import LabeledGraph
+
+__all__ = ["DegreeReducedGraph", "reduce_to_three_regular"]
+
+Vertex = int
+Port = int
+HalfEdge = Tuple[Vertex, Port]
+
+#: Port of every virtual node reserved for its (unique) external edge.
+EXTERNAL_PORT: Port = 0
+#: Port connecting a virtual node to the next node of its cycle.
+CYCLE_NEXT_PORT: Port = 1
+#: Port connecting a virtual node to the previous node of its cycle.
+CYCLE_PREV_PORT: Port = 2
+
+
+@dataclass(frozen=True)
+class DegreeReducedGraph:
+    """Result of the Fig. 1 transformation.
+
+    Attributes
+    ----------
+    original:
+        The input graph ``G``.
+    graph:
+        The 3-regular output graph ``G'`` with vertices ``0..|V'| - 1``.
+    cluster_of:
+        Maps every original vertex to the tuple of virtual vertices that
+        simulate it, indexed by the original port they carry (a vertex of
+        degree ``d >= 1`` has exactly ``d`` virtual nodes; isolated and
+        degree-1/2 vertices have 1, 1 and 2 respectively).
+    original_of:
+        Maps every virtual vertex back to the original vertex it simulates.
+    """
+
+    original: LabeledGraph
+    graph: LabeledGraph
+    cluster_of: Mapping[Vertex, Tuple[Vertex, ...]]
+    original_of: Mapping[Vertex, Vertex]
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+
+    def gateway(self, original_vertex: Vertex) -> Vertex:
+        """Canonical virtual vertex representing ``original_vertex``.
+
+        Routing sources/targets given as original vertices enter ``G'``
+        through this vertex; reaching *any* virtual vertex of the cluster
+        counts as reaching the original vertex.
+        """
+        cluster = self.cluster_of.get(original_vertex)
+        if cluster is None:
+            raise GraphStructureError(f"unknown original vertex {original_vertex!r}")
+        return cluster[0]
+
+    def cluster(self, original_vertex: Vertex) -> Tuple[Vertex, ...]:
+        """All virtual vertices simulating ``original_vertex``."""
+        cluster = self.cluster_of.get(original_vertex)
+        if cluster is None:
+            raise GraphStructureError(f"unknown original vertex {original_vertex!r}")
+        return cluster
+
+    def to_original(self, virtual_vertex: Vertex) -> Vertex:
+        """Original vertex simulated by ``virtual_vertex``."""
+        original = self.original_of.get(virtual_vertex)
+        if original is None:
+            raise GraphStructureError(f"unknown virtual vertex {virtual_vertex!r}")
+        return original
+
+    def simulates(self, virtual_vertex: Vertex, original_vertex: Vertex) -> bool:
+        """Return ``True`` when ``virtual_vertex`` belongs to ``original_vertex``'s cluster."""
+        return self.original_of.get(virtual_vertex) == original_vertex
+
+    def cluster_size(self, original_vertex: Vertex) -> int:
+        """Number of virtual nodes the original vertex simulates."""
+        return len(self.cluster(original_vertex))
+
+    def carrier(self, original_vertex: Vertex, original_port: Port) -> Vertex:
+        """Virtual vertex of ``original_vertex`` carrying its ``original_port``.
+
+        The external edge that had label ``original_port`` at the original
+        vertex is attached (on port 0) to exactly this virtual vertex; the
+        distributed routing protocol uses this lookup to translate a message's
+        physical arrival port into the corresponding virtual walk position.
+        """
+        cluster = self.cluster(original_vertex)
+        if len(cluster) == 1:
+            return cluster[0]
+        if not 0 <= original_port < len(cluster):
+            raise GraphStructureError(
+                f"vertex {original_vertex!r} has no original port {original_port!r}"
+            )
+        return cluster[original_port]
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics (used by the E1 benchmark)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def blowup_factor(self) -> float:
+        """``|V'| / |V|`` — the size increase caused by the reduction."""
+        if self.original.num_vertices == 0:
+            return 1.0
+        return self.graph.num_vertices / self.original.num_vertices
+
+    def virtual_vertex_count(self) -> int:
+        """Total number of virtual vertices in ``G'``."""
+        return self.graph.num_vertices
+
+    def external_edge_count(self) -> int:
+        """Number of edges of ``G'`` that correspond to original edges."""
+        count = 0
+        for edge in self.graph.edges():
+            if edge.is_self_loop:
+                continue
+            if self.original_of[edge.u] != self.original_of[edge.v]:
+                count += 1
+        return count
+
+
+def _virtual_counts(graph: LabeledGraph) -> Dict[Vertex, int]:
+    """Number of virtual nodes each original vertex expands into."""
+    counts: Dict[Vertex, int] = {}
+    for v in graph.vertices:
+        degree = graph.degree(v)
+        if degree >= 3:
+            counts[v] = degree
+        elif degree == 2:
+            counts[v] = 2
+        else:  # degree 0 or 1
+            counts[v] = 1
+    return counts
+
+
+def reduce_to_three_regular(graph: LabeledGraph) -> DegreeReducedGraph:
+    """Apply the Fig. 1 degree reduction and return the mapped result.
+
+    The output graph is always 3-regular (checked), and the transformation is
+    connectivity-preserving: two original vertices are in the same component
+    of ``G`` exactly when their clusters are in the same component of ``G'``.
+    """
+    counts = _virtual_counts(graph)
+
+    # Assign contiguous ids to virtual nodes: cluster_of[v][k] is the virtual
+    # node carrying original port k of v (for degree >= 1; for degree 2 the
+    # two virtual nodes carry ports 0 and 1; for degree <= 1 there is a single
+    # virtual node carrying port 0 if it exists).
+    cluster_of: Dict[Vertex, Tuple[Vertex, ...]] = {}
+    original_of: Dict[Vertex, Vertex] = {}
+    next_id = 0
+    for v in graph.vertices:
+        members = tuple(range(next_id, next_id + counts[v]))
+        cluster_of[v] = members
+        for member in members:
+            original_of[member] = v
+        next_id += counts[v]
+
+    rotation: Dict[HalfEdge, HalfEdge] = {}
+
+    def carrier(v: Vertex, original_port: Port) -> Vertex:
+        """Virtual node of ``v`` that carries the original port ``original_port``."""
+        cluster = cluster_of[v]
+        return cluster[original_port] if len(cluster) > 1 else cluster[0]
+
+    # Intra-cluster edges.
+    for v in graph.vertices:
+        degree = graph.degree(v)
+        cluster = cluster_of[v]
+        if degree >= 3:
+            d = len(cluster)
+            for k in range(d):
+                nxt = cluster[(k + 1) % d]
+                rotation[(cluster[k], CYCLE_NEXT_PORT)] = (nxt, CYCLE_PREV_PORT)
+                rotation[(nxt, CYCLE_PREV_PORT)] = (cluster[k], CYCLE_NEXT_PORT)
+        elif degree == 2:
+            a, b = cluster
+            rotation[(a, CYCLE_NEXT_PORT)] = (b, CYCLE_NEXT_PORT)
+            rotation[(b, CYCLE_NEXT_PORT)] = (a, CYCLE_NEXT_PORT)
+            rotation[(a, CYCLE_PREV_PORT)] = (b, CYCLE_PREV_PORT)
+            rotation[(b, CYCLE_PREV_PORT)] = (a, CYCLE_PREV_PORT)
+        elif degree == 1:
+            (a,) = cluster
+            rotation[(a, CYCLE_NEXT_PORT)] = (a, CYCLE_PREV_PORT)
+            rotation[(a, CYCLE_PREV_PORT)] = (a, CYCLE_NEXT_PORT)
+        else:  # isolated vertex: three half-loops keep it 3-regular
+            (a,) = cluster
+            rotation[(a, EXTERNAL_PORT)] = (a, EXTERNAL_PORT)
+            rotation[(a, CYCLE_NEXT_PORT)] = (a, CYCLE_NEXT_PORT)
+            rotation[(a, CYCLE_PREV_PORT)] = (a, CYCLE_PREV_PORT)
+
+    # External edges: every original edge (v port a) <-> (u port b) connects
+    # the carrier virtual nodes on their external port.
+    for edge in graph.edges():
+        left = carrier(edge.u, edge.u_port)
+        right = carrier(edge.v, edge.v_port)
+        if edge.is_half_loop:
+            # A half-loop at an original vertex becomes a half-loop on the
+            # external port of its carrier virtual node.
+            rotation[(left, EXTERNAL_PORT)] = (left, EXTERNAL_PORT)
+            continue
+        rotation[(left, EXTERNAL_PORT)] = (right, EXTERNAL_PORT)
+        rotation[(right, EXTERNAL_PORT)] = (left, EXTERNAL_PORT)
+
+    # A self-loop of an original vertex occupying two ports connects two
+    # distinct virtual nodes of the same cluster, which the loop above already
+    # handles correctly (left != right as long as the cluster has >= 2
+    # members; otherwise it degenerates into the half-loop case).
+    reduced = LabeledGraph(rotation)
+    reduced.require_regular(3)
+    return DegreeReducedGraph(
+        original=graph,
+        graph=reduced,
+        cluster_of=cluster_of,
+        original_of=original_of,
+    )

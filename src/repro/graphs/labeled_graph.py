@@ -1,0 +1,438 @@
+"""Port-labeled undirected multigraphs represented by rotation maps.
+
+The paper (Section 2) works with graphs in which every vertex ``v`` assigns
+the labels ``0, 1, ..., deg(v) - 1`` to its incident edges, in an arbitrary
+way, and the labels at the two endpoints of an edge are unrelated.  The
+standard way to encode such a labeling is a *rotation map*:
+
+    Rot(v, i) = (w, j)   whenever the i-th edge of v leads to w and that same
+                          edge is the j-th edge of w.
+
+``Rot`` is an involution on the set of (vertex, port) pairs; a self-loop may
+either occupy two ports of the same vertex or be a fixed point of the map
+(a "half loop", the convention used by Reingold's construction).
+
+:class:`LabeledGraph` stores exactly this map.  It supports multi-edges and
+self-loops because both the degree-reduction gadget of Fig. 1 (vertices of
+degree one or two receive parallel edges / loops) and the zig-zag machinery
+of :mod:`repro.expander` need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import GraphStructureError, NotRegularError, PortLabelingError
+
+__all__ = ["PortEdge", "LabeledGraph"]
+
+Vertex = int
+Port = int
+HalfEdge = Tuple[Vertex, Port]
+
+
+@dataclass(frozen=True)
+class PortEdge:
+    """One undirected edge together with the port it occupies at each endpoint.
+
+    ``u``/``u_port`` and ``v``/``v_port`` are interchangeable descriptions of
+    the two endpoints; a half-loop (fixed point of the rotation map) has
+    ``u == v`` and ``u_port == v_port``.
+    """
+
+    u: Vertex
+    u_port: Port
+    v: Vertex
+    v_port: Port
+
+    @property
+    def is_self_loop(self) -> bool:
+        """Return ``True`` when both endpoints are the same vertex."""
+        return self.u == self.v
+
+    @property
+    def is_half_loop(self) -> bool:
+        """Return ``True`` for a loop occupying a single (vertex, port) pair."""
+        return self.u == self.v and self.u_port == self.v_port
+
+    def key(self) -> Tuple[HalfEdge, HalfEdge]:
+        """Return a canonical, order-independent key for the edge."""
+        a = (self.u, self.u_port)
+        b = (self.v, self.v_port)
+        return (a, b) if a <= b else (b, a)
+
+
+class LabeledGraph:
+    """An undirected multigraph with per-vertex port labels (a rotation map).
+
+    Instances are immutable once constructed: every mutation-style operation
+    (relabeling, taking subgraphs, ...) returns a new graph.  This keeps the
+    graph safe to share between nodes of the network simulator, which models
+    the paper's assumption of a *static* network.
+    """
+
+    def __init__(
+        self,
+        rotation: Mapping[HalfEdge, HalfEdge],
+        isolated_vertices: Iterable[Vertex] = (),
+    ) -> None:
+        """Build a graph from a rotation map.
+
+        Parameters
+        ----------
+        rotation:
+            Mapping ``(v, i) -> (w, j)``.  It must be an involution
+            (``rotation[rotation[v, i]] == (v, i)``) and for every vertex the
+            set of ports present must be exactly ``0..deg(v) - 1``.
+        isolated_vertices:
+            Vertices that carry no ports at all (degree 0).  A rotation map
+            cannot mention them, so they are listed explicitly.
+
+        Raises
+        ------
+        PortLabelingError
+            If the ports of some vertex are not contiguous starting at 0.
+        GraphStructureError
+            If the map is not an involution or references unknown half-edges.
+        """
+        self._rotation: Dict[HalfEdge, HalfEdge] = dict(rotation)
+        self._degrees: Dict[Vertex, int] = {v: 0 for v in isolated_vertices}
+        ports_seen: Dict[Vertex, set] = {}
+        for (v, i) in self._rotation:
+            ports_seen.setdefault(v, set()).add(i)
+        for v, ports in ports_seen.items():
+            degree = len(ports)
+            if ports != set(range(degree)):
+                raise PortLabelingError(
+                    f"vertex {v!r} has ports {sorted(ports)}; expected 0..{degree - 1}"
+                )
+            self._degrees[v] = degree
+        for half_edge, other in self._rotation.items():
+            if other not in self._rotation:
+                raise GraphStructureError(
+                    f"rotation maps {half_edge} to unknown half-edge {other}"
+                )
+            if self._rotation[other] != half_edge:
+                raise GraphStructureError(
+                    f"rotation map is not an involution at {half_edge} -> {other}"
+                )
+        self._vertices: Tuple[Vertex, ...] = tuple(sorted(self._degrees))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, Vertex]],
+        vertices: Optional[Iterable[Vertex]] = None,
+        shuffle_ports: Optional[object] = None,
+    ) -> "LabeledGraph":
+        """Build a graph from an undirected edge list.
+
+        Ports at every vertex are assigned in the order edges are supplied
+        (so the labeling is deterministic for a fixed input order).  Self
+        loops consume two consecutive ports of their vertex.  Parallel edges
+        are allowed and simply occupy distinct ports.
+
+        Parameters
+        ----------
+        edges:
+            Iterable of ``(u, v)`` pairs.
+        vertices:
+            Optional iterable of vertices to force into the graph even if
+            isolated (degree-0 vertices cannot be inferred from edges).
+        shuffle_ports:
+            Optional :class:`random.Random`-like object; when given, the port
+            assignment at every vertex is permuted using it.  This is how the
+            test-suite exercises the paper's "for any labeling" quantifier.
+        """
+        incident: Dict[Vertex, List[Tuple[Vertex, int]]] = {}
+        if vertices is not None:
+            for v in vertices:
+                incident.setdefault(v, [])
+        edge_list = list(edges)
+        for index, (u, v) in enumerate(edge_list):
+            incident.setdefault(u, []).append((v, index))
+            incident.setdefault(v, []).append((u, index))
+
+        if shuffle_ports is not None:
+            for v in incident:
+                shuffle_ports.shuffle(incident[v])
+
+        # endpoint_ports[edge_index] collects the (vertex, port) pairs of the
+        # two endpoints of that edge, in the order they were assigned.
+        endpoint_ports: Dict[int, List[HalfEdge]] = {i: [] for i in range(len(edge_list))}
+        for v, incidences in incident.items():
+            for port, (_neighbor, edge_index) in enumerate(incidences):
+                endpoint_ports[edge_index].append((v, port))
+
+        rotation: Dict[HalfEdge, HalfEdge] = {}
+        for edge_index, halves in endpoint_ports.items():
+            if len(halves) != 2:
+                raise GraphStructureError(
+                    f"edge {edge_list[edge_index]!r} resolved to {len(halves)} endpoints"
+                )
+            a, b = halves
+            rotation[a] = b
+            rotation[b] = a
+        isolated = [v for v in incident if not incident[v]]
+        return cls(rotation, isolated_vertices=isolated)
+
+    @classmethod
+    def from_networkx(cls, nx_graph: object) -> "LabeledGraph":
+        """Convert a :mod:`networkx` graph (or multigraph) to a labeled graph.
+
+        Vertex identities are preserved; they must be hashable and sortable
+        integers (the rest of the library assumes integer vertices).
+        """
+        edges = [(int(u), int(v)) for u, v in nx_graph.edges()]  # type: ignore[attr-defined]
+        vertices = [int(v) for v in nx_graph.nodes()]  # type: ignore[attr-defined]
+        return cls.from_edges(edges, vertices=vertices)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def vertices(self) -> Tuple[Vertex, ...]:
+        """All vertices, in increasing order."""
+        return self._vertices
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (half-loops count as one edge)."""
+        half_loops = sum(1 for he, other in self._rotation.items() if he == other)
+        return (len(self._rotation) - half_loops) // 2 + half_loops
+
+    def degree(self, v: Vertex) -> int:
+        """Degree of ``v`` (number of ports; a half-loop contributes one)."""
+        try:
+            return self._degrees[v]
+        except KeyError:
+            raise GraphStructureError(f"unknown vertex {v!r}") from None
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """Return ``True`` when ``v`` is a vertex of the graph."""
+        return v in self._degrees
+
+    def rotation(self, v: Vertex, port: Port) -> HalfEdge:
+        """Return ``Rot(v, port) = (w, j)``: follow port ``port`` out of ``v``.
+
+        ``w`` is the vertex reached and ``j`` the port of ``w`` on which the
+        edge arrives.  This is the single primitive the exploration-sequence
+        walk of the paper needs at each node, and it is a purely local lookup.
+        """
+        try:
+            return self._rotation[(v, port)]
+        except KeyError:
+            raise GraphStructureError(f"vertex {v!r} has no port {port!r}") from None
+
+    def neighbor(self, v: Vertex, port: Port) -> Vertex:
+        """Vertex reached by leaving ``v`` through ``port``."""
+        return self.rotation(v, port)[0]
+
+    def neighbors(self, v: Vertex) -> List[Vertex]:
+        """Neighbors of ``v`` listed in port order (repeats for multi-edges)."""
+        return [self.rotation(v, port)[0] for port in range(self.degree(v))]
+
+    def ports_to(self, v: Vertex, w: Vertex) -> List[Port]:
+        """All ports of ``v`` whose edge leads to ``w`` (may be empty)."""
+        return [port for port in range(self.degree(v)) if self.rotation(v, port)[0] == w]
+
+    def port_to(self, v: Vertex, w: Vertex) -> Port:
+        """First port of ``v`` leading to ``w``.
+
+        Raises
+        ------
+        GraphStructureError
+            If ``v`` and ``w`` are not adjacent.
+        """
+        ports = self.ports_to(v, w)
+        if not ports:
+            raise GraphStructureError(f"vertices {v!r} and {w!r} are not adjacent")
+        return ports[0]
+
+    def has_edge(self, v: Vertex, w: Vertex) -> bool:
+        """Return ``True`` when at least one edge joins ``v`` and ``w``."""
+        if not self.has_vertex(v) or not self.has_vertex(w):
+            return False
+        return bool(self.ports_to(v, w))
+
+    def edges(self) -> Iterator[PortEdge]:
+        """Iterate over undirected edges, each reported once."""
+        seen = set()
+        for (v, i), (w, j) in self._rotation.items():
+            edge = PortEdge(v, i, w, j)
+            key = edge.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            yield edge
+
+    def rotation_map(self) -> Dict[HalfEdge, HalfEdge]:
+        """Return a copy of the underlying rotation map."""
+        return dict(self._rotation)
+
+    # ------------------------------------------------------------------ #
+    # Structural predicates
+    # ------------------------------------------------------------------ #
+
+    def is_regular(self, degree: Optional[int] = None) -> bool:
+        """Return ``True`` when every vertex has the same degree.
+
+        When ``degree`` is given the common degree must also equal it.
+        """
+        if not self._degrees:
+            return True
+        degrees = set(self._degrees.values())
+        if len(degrees) != 1:
+            return False
+        return degree is None or degrees == {degree}
+
+    def require_regular(self, degree: Optional[int] = None) -> int:
+        """Return the common degree, raising :class:`NotRegularError` otherwise."""
+        if not self.is_regular(degree):
+            raise NotRegularError(
+                f"graph is not {'regular' if degree is None else f'{degree}-regular'}",
+                expected_degree=degree,
+            )
+        return self._degrees[self._vertices[0]] if self._vertices else 0
+
+    def max_degree(self) -> int:
+        """Maximum vertex degree (0 for the empty graph)."""
+        return max(self._degrees.values(), default=0)
+
+    def min_degree(self) -> int:
+        """Minimum vertex degree (0 for the empty graph)."""
+        return min(self._degrees.values(), default=0)
+
+    def self_loop_count(self) -> int:
+        """Number of self-loop edges (half-loops and two-port loops alike)."""
+        return sum(1 for edge in self.edges() if edge.is_self_loop)
+
+    def parallel_edge_count(self) -> int:
+        """Number of edges in excess of one between some pair of distinct vertices."""
+        from collections import Counter
+
+        pair_counts: Counter = Counter()
+        for edge in self.edges():
+            if not edge.is_self_loop:
+                pair_counts[frozenset((edge.u, edge.v))] += 1
+        return sum(count - 1 for count in pair_counts.values() if count > 1)
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+
+    def relabel(self, mapping: Mapping[Vertex, Vertex]) -> "LabeledGraph":
+        """Return a copy with vertices renamed through ``mapping``.
+
+        The mapping must be injective on the vertex set; vertices missing
+        from the mapping keep their name.
+        """
+        new_names = {v: mapping.get(v, v) for v in self._vertices}
+        if len(set(new_names.values())) != len(new_names):
+            raise GraphStructureError("relabeling is not injective")
+        rotation = {
+            (new_names[v], i): (new_names[w], j)
+            for (v, i), (w, j) in self._rotation.items()
+        }
+        isolated = [new_names[v] for v in self._vertices if self._degrees[v] == 0]
+        return LabeledGraph(rotation, isolated_vertices=isolated)
+
+    def with_contiguous_vertices(self) -> Tuple["LabeledGraph", Dict[Vertex, Vertex]]:
+        """Relabel vertices to ``0..n-1`` and return the graph plus the mapping."""
+        mapping = {v: index for index, v in enumerate(self._vertices)}
+        return self.relabel(mapping), mapping
+
+    def induced_subgraph(self, vertices: Iterable[Vertex]) -> "LabeledGraph":
+        """Return the subgraph induced on ``vertices`` with ports re-packed.
+
+        Edges leaving the vertex set are dropped; remaining ports of every
+        vertex are renumbered to stay contiguous, preserving relative order.
+        """
+        keep = set(vertices)
+        unknown = keep - set(self._vertices)
+        if unknown:
+            raise GraphStructureError(f"unknown vertices {sorted(unknown)!r}")
+        # Surviving half-edges per vertex, in port order.
+        surviving: Dict[Vertex, List[Port]] = {v: [] for v in keep}
+        for v in keep:
+            for port in range(self.degree(v)):
+                w, _ = self.rotation(v, port)
+                if w in keep:
+                    surviving[v].append(port)
+        new_port: Dict[HalfEdge, Port] = {}
+        for v, ports in surviving.items():
+            for new_index, old_port in enumerate(ports):
+                new_port[(v, old_port)] = new_index
+        rotation: Dict[HalfEdge, HalfEdge] = {}
+        for v, ports in surviving.items():
+            for old_port in ports:
+                w, j = self.rotation(v, old_port)
+                rotation[(v, new_port[(v, old_port)])] = (w, new_port[(w, j)])
+        isolated = [v for v in keep if not surviving[v]]
+        return LabeledGraph(rotation, isolated_vertices=isolated)
+
+    def with_relabeled_ports(self, rng: object) -> "LabeledGraph":
+        """Return a copy where every vertex's ports are permuted at random.
+
+        This realises the paper's "for any labeling" quantifier: the edge set
+        is unchanged, only the local labels move.  ``rng`` must provide a
+        ``shuffle`` method (e.g. :class:`random.Random`).
+        """
+        permutation: Dict[HalfEdge, Port] = {}
+        for v in self._vertices:
+            ports = list(range(self.degree(v)))
+            rng.shuffle(ports)  # type: ignore[attr-defined]
+            for old, new in zip(range(self.degree(v)), ports):
+                permutation[(v, old)] = new
+        rotation = {
+            (v, permutation[(v, i)]): (w, permutation[(w, j)])
+            for (v, i), (w, j) in self._rotation.items()
+        }
+        isolated = [v for v in self._vertices if self._degrees[v] == 0]
+        return LabeledGraph(rotation, isolated_vertices=isolated)
+
+    def to_networkx(self) -> object:
+        """Convert to a :class:`networkx.MultiGraph` (ports stored as edge data)."""
+        import networkx as nx
+
+        graph = nx.MultiGraph()
+        graph.add_nodes_from(self._vertices)
+        for edge in self.edges():
+            graph.add_edge(edge.u, edge.v, u_port=edge.u_port, v_port=edge.v_port)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, v: object) -> bool:
+        return v in self._degrees
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        return self._rotation == other._rotation
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._rotation.items()))
+
+    def __repr__(self) -> str:
+        return (
+            f"LabeledGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges}, "
+            f"degrees={sorted(set(self._degrees.values()))})"
+        )

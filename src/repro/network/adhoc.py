@@ -1,0 +1,131 @@
+"""Convenience constructors for complete ad hoc network instances.
+
+An :class:`AdHocNetwork` bundles everything one routing experiment needs: the
+static connectivity graph, the (optional) physical deployment it came from,
+the namespace the node names are drawn from, and the name assignment itself.
+The experiment harness builds these once per scenario and hands them to every
+algorithm under comparison, so all algorithms see the identical network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import GeometryError, GraphStructureError
+from repro.geometry.deployment import Deployment, random_deployment
+from repro.geometry.unit_disk import unit_disk_graph
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.core.memory import bits_for_namespace
+from repro.network.simulator import Simulator
+
+__all__ = ["AdHocNetwork", "build_unit_disk_network", "build_graph_network"]
+
+
+@dataclass(frozen=True)
+class AdHocNetwork:
+    """A fully specified static ad hoc network instance."""
+
+    graph: LabeledGraph
+    namespace_size: int
+    names: Dict[int, int]
+    deployment: Optional[Deployment] = None
+
+    def __post_init__(self) -> None:
+        if set(self.names) != set(self.graph.vertices):
+            raise GraphStructureError("names must cover exactly the graph's vertices")
+        if len(set(self.names.values())) != len(self.names):
+            raise GraphStructureError("universal names must be unique")
+        if any(not 0 <= name < self.namespace_size for name in self.names.values()):
+            raise GraphStructureError("names must fall inside the namespace")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the network."""
+        return self.graph.num_vertices
+
+    @property
+    def name_bits(self) -> int:
+        """Bits needed to write down one universal name (the paper's log n)."""
+        return bits_for_namespace(self.namespace_size)
+
+    def name_of(self, node_id: int) -> int:
+        """Universal name of a node."""
+        return self.names[node_id]
+
+    def node_of(self, name: int) -> int:
+        """Node id holding a universal name."""
+        for node_id, node_name in self.names.items():
+            if node_name == name:
+                return node_id
+        raise GraphStructureError(f"no node holds name {name!r}")
+
+    def simulator(self, node_memory_bits: Optional[int] = None, link_delay: int = 1) -> Simulator:
+        """Build a fresh simulator over this network."""
+        return Simulator(
+            self.graph,
+            names=dict(self.names),
+            deployment=self.deployment,
+            node_memory_bits=node_memory_bits,
+            link_delay=link_delay,
+        )
+
+
+def _assign_names(
+    graph: LabeledGraph, namespace_size: int, seed: Optional[int]
+) -> Dict[int, int]:
+    """Assign unique names from the namespace to every vertex."""
+    n = graph.num_vertices
+    if namespace_size < n:
+        raise GraphStructureError(
+            f"namespace of size {namespace_size} cannot name {n} nodes"
+        )
+    if seed is None:
+        return {v: v for v in graph.vertices}
+    rng = random.Random(seed)
+    names = rng.sample(range(namespace_size), n)
+    return {v: names[index] for index, v in enumerate(graph.vertices)}
+
+
+def build_graph_network(
+    graph: LabeledGraph,
+    namespace_size: Optional[int] = None,
+    name_seed: Optional[int] = None,
+    deployment: Optional[Deployment] = None,
+) -> AdHocNetwork:
+    """Wrap an existing connectivity graph into an :class:`AdHocNetwork`.
+
+    When ``namespace_size`` is omitted it defaults to the number of vertices
+    (the tightest namespace); passing something much larger (e.g. ``2**32``)
+    reproduces the paper's IPv4 example and exercises the O(log n) overhead
+    accounting with a realistic name width.
+    """
+    size = namespace_size if namespace_size is not None else max(1, graph.num_vertices)
+    names = _assign_names(graph, size, name_seed)
+    return AdHocNetwork(graph=graph, namespace_size=size, names=names, deployment=deployment)
+
+
+def build_unit_disk_network(
+    n: int,
+    radius: float,
+    dimension: int = 2,
+    seed: int = 0,
+    namespace_size: Optional[int] = None,
+    name_seed: Optional[int] = None,
+) -> AdHocNetwork:
+    """Deploy ``n`` nodes uniformly at random and connect them within ``radius``.
+
+    This is the canonical scenario of the paper's introduction: radio nodes
+    scattered in the plane (or in space for ``dimension=3``), links wherever
+    two nodes are within range.
+    """
+    if dimension not in (2, 3):
+        raise GeometryError("dimension must be 2 or 3")
+    deployment = random_deployment(n, dimension=dimension, seed=seed)
+    graph = unit_disk_graph(deployment, radius)
+    size = namespace_size if namespace_size is not None else max(1, n)
+    names = _assign_names(graph, size, name_seed)
+    return AdHocNetwork(
+        graph=graph, namespace_size=size, names=names, deployment=deployment
+    )

@@ -1,0 +1,216 @@
+"""Dynamic-topology extension (beyond the paper's static model).
+
+The paper is explicit: "we assume that the network is static.  That is, the
+graph does not change during the delivery process."  Everything in
+:mod:`repro.core` relies on that assumption — the reversibility of the walk,
+the failure confirmation, the counting loop.  This module implements the
+*extension* needed to study what happens when the assumption is violated, as
+flagged in DESIGN.md §6:
+
+* a :class:`TopologySchedule` describes a sequence of static graphs with
+  switch-over times (a very coarse mobility model: the union of snapshots of a
+  slowly moving network);
+* :func:`route_over_schedule` replays the centralised routing walk against the
+  schedule, consulting whichever snapshot is active when each step is taken,
+  and reports how the run ends: delivered, explicit failure, *stranded* (the
+  walk's current edge disappeared — the clean detection of a model violation),
+  or silently wrong (a failure report even though a path existed throughout).
+
+The results are used by tests and by downstream users who want to know how far
+the static-model guarantee stretches; they are *not* claims made by the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.exploration import WalkState, step_backward, step_forward
+from repro.core.universal import SequenceProvider
+from repro.errors import GraphStructureError, RoutingError
+from repro.graphs.connectivity import are_connected, connected_component
+from repro.graphs.degree_reduction import DegreeReducedGraph, reduce_to_three_regular
+from repro.graphs.labeled_graph import LabeledGraph
+
+__all__ = ["TopologySchedule", "DynamicOutcome", "DynamicRouteResult", "route_over_schedule"]
+
+
+class DynamicOutcome(enum.Enum):
+    """How a routing attempt over a changing topology ended."""
+
+    DELIVERED = "delivered"
+    REPORTED_FAILURE = "reported-failure"
+    STRANDED = "stranded"
+
+
+@dataclass(frozen=True)
+class TopologySchedule:
+    """A piecewise-static topology: ``snapshots[i]`` is active from ``switch_times[i]``.
+
+    ``switch_times`` must start at 0 and be strictly increasing; the last
+    snapshot stays active forever.  All snapshots must share the same vertex
+    set (nodes do not appear or disappear, only links do) so that vertex
+    identities remain meaningful across switches.
+    """
+
+    snapshots: Tuple[LabeledGraph, ...]
+    switch_times: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.snapshots) != len(self.switch_times) or not self.snapshots:
+            raise GraphStructureError("need one switch time per snapshot (and at least one)")
+        if self.switch_times[0] != 0:
+            raise GraphStructureError("the first snapshot must start at time 0")
+        if any(b <= a for a, b in zip(self.switch_times, self.switch_times[1:])):
+            raise GraphStructureError("switch times must be strictly increasing")
+        vertex_sets = {tuple(graph.vertices) for graph in self.snapshots}
+        if len(vertex_sets) != 1:
+            raise GraphStructureError("all snapshots must share the same vertex set")
+
+    @classmethod
+    def static(cls, graph: LabeledGraph) -> "TopologySchedule":
+        """A schedule with a single, never-changing snapshot."""
+        return cls(snapshots=(graph,), switch_times=(0,))
+
+    def active_at(self, time: int) -> LabeledGraph:
+        """Snapshot in force at the given time."""
+        active = self.snapshots[0]
+        for snapshot, start in zip(self.snapshots, self.switch_times):
+            if time >= start:
+                active = snapshot
+            else:
+                break
+        return active
+
+    @property
+    def is_static(self) -> bool:
+        """True when the schedule never actually changes."""
+        return len(self.snapshots) == 1
+
+    def always_connected(self, source: int, target: int) -> bool:
+        """True when the pair is connected in every snapshot."""
+        return all(are_connected(graph, source, target) for graph in self.snapshots)
+
+
+@dataclass(frozen=True)
+class DynamicRouteResult:
+    """Outcome of routing over a topology schedule."""
+
+    outcome: DynamicOutcome
+    steps_taken: int
+    switches_survived: int
+    sound: bool
+    detail: str = ""
+
+
+def route_over_schedule(
+    schedule: TopologySchedule,
+    source: int,
+    target: int,
+    provider: Optional[SequenceProvider] = None,
+    size_bound: Optional[int] = None,
+) -> DynamicRouteResult:
+    """Run the routing walk while the underlying topology follows ``schedule``.
+
+    Every step consults the *currently active* snapshot: the reduction of the
+    active graph is recomputed at each switch (each physical node only ever
+    needs its own, local part of it).  A step whose exit port no longer exists
+    — the link vanished under the message — strands the walk, which is
+    reported as such rather than papered over.
+
+    ``sound`` in the result records whether the verdict the source would
+    receive is *semantically correct*: delivery is always sound; a failure
+    report is sound only if source and target were indeed disconnected in at
+    least one snapshot; stranding is never sound (the source learns nothing).
+    """
+    base_graph = schedule.snapshots[0]
+    if not base_graph.has_vertex(source):
+        raise RoutingError(f"source {source!r} is not a vertex of the network")
+    if provider is None:
+        # Imported lazily: repro.core.routing imports the network package for
+        # its distributed implementation, so a module-level import here would
+        # be circular.
+        from repro.core.routing import default_provider
+
+        provider = default_provider()
+    reductions: List[DegreeReducedGraph] = [
+        reduce_to_three_regular(graph) for graph in schedule.snapshots
+    ]
+    if size_bound is None:
+        size_bound = len(
+            connected_component(reductions[0].graph, reductions[0].gateway(source))
+        )
+    sequence = provider.sequence_for(size_bound)
+
+    def reduction_at(time: int) -> DegreeReducedGraph:
+        active_index = 0
+        for index, start in enumerate(schedule.switch_times):
+            if time >= start:
+                active_index = index
+        return reductions[active_index]
+
+    # The walk state is tracked as (original vertex, virtual offset within its
+    # cluster, entry port); expressing it this way keeps it meaningful across
+    # snapshot switches as long as the vertex's degree is unchanged.
+    reduction = reduction_at(0)
+    state = WalkState(vertex=reduction.gateway(source), entry_port=0)
+    current_original = source
+    switches_survived = 0
+    steps = 0
+    direction_forward = True
+    status_failure = False
+
+    for time in range(2 * len(sequence) + 2):
+        new_reduction = reduction_at(time)
+        if new_reduction is not reduction:
+            switches_survived += 1
+            cluster = new_reduction.cluster(current_original)
+            old_cluster = reduction.cluster(current_original)
+            if len(cluster) != len(old_cluster):
+                return DynamicRouteResult(
+                    outcome=DynamicOutcome.STRANDED,
+                    steps_taken=steps,
+                    switches_survived=switches_survived,
+                    sound=False,
+                    detail=f"degree of node {current_original} changed under the message",
+                )
+            offset = old_cluster.index(state.vertex)
+            state = WalkState(vertex=cluster[offset], entry_port=state.entry_port)
+            reduction = new_reduction
+
+        if direction_forward:
+            if current_original == target:
+                return DynamicRouteResult(
+                    outcome=DynamicOutcome.DELIVERED,
+                    steps_taken=steps,
+                    switches_survived=switches_survived,
+                    sound=True,
+                )
+            if steps >= len(sequence):
+                direction_forward = False
+                status_failure = True
+                continue
+            state = step_forward(reduction.graph, state, sequence[steps])
+            steps += 1
+        else:
+            if current_original == source or steps == 0:
+                sound = not schedule.always_connected(source, target) if status_failure else True
+                return DynamicRouteResult(
+                    outcome=DynamicOutcome.REPORTED_FAILURE,
+                    steps_taken=steps,
+                    switches_survived=switches_survived,
+                    sound=sound,
+                    detail="" if sound else "failure reported although a path existed throughout",
+                )
+            state = step_backward(reduction.graph, state, sequence[steps - 1])
+            steps -= 1
+        current_original = reduction.to_original(state.vertex)
+
+    return DynamicRouteResult(
+        outcome=DynamicOutcome.STRANDED,
+        steps_taken=steps,
+        switches_survived=switches_survived,
+        sound=False,
+        detail="walk did not terminate within its budget",
+    )

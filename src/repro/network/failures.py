@@ -1,0 +1,70 @@
+"""Failure injection plans.
+
+The paper assumes a *static* network ("the graph does not change during the
+delivery process"), so none of its guarantees are claimed under failures.
+The reproduction nonetheless includes a small failure-injection facility:
+tests use it to document what actually happens when the static assumption is
+violated (the walk may dead-end and the simulation still terminates), and to
+verify that the baseline protocols degrade the way the literature says they
+do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.network.simulator import Simulator
+
+__all__ = ["FailurePlan"]
+
+
+@dataclass
+class FailurePlan:
+    """A set of links and nodes to disable before a run starts."""
+
+    failed_links: Set[FrozenSet[int]] = field(default_factory=set)
+    failed_nodes: Set[int] = field(default_factory=set)
+
+    def fail_link(self, u: int, v: int) -> "FailurePlan":
+        """Add the undirected link ``(u, v)`` to the plan."""
+        self.failed_links.add(frozenset((u, v)))
+        return self
+
+    def fail_node(self, v: int) -> "FailurePlan":
+        """Add node ``v`` to the plan."""
+        self.failed_nodes.add(v)
+        return self
+
+    @classmethod
+    def random_link_failures(
+        cls, graph: LabeledGraph, fraction: float, seed: int = 0
+    ) -> "FailurePlan":
+        """Fail a random fraction of the distinct links of ``graph``."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        links = sorted(
+            {frozenset((edge.u, edge.v)) for edge in graph.edges() if edge.u != edge.v},
+            key=sorted,
+        )
+        rng = random.Random(seed)
+        count = int(round(fraction * len(links)))
+        chosen = rng.sample(links, count) if count else []
+        return cls(failed_links=set(chosen))
+
+    def apply(self, simulator: Simulator) -> None:
+        """Apply the plan to a simulator (before running a protocol)."""
+        for link in self.failed_links:
+            endpoints = tuple(link)
+            if len(endpoints) == 1:
+                simulator.fail_link(endpoints[0], endpoints[0])
+            else:
+                simulator.fail_link(endpoints[0], endpoints[1])
+        for node in self.failed_nodes:
+            simulator.fail_node(node)
+
+    def is_empty(self) -> bool:
+        """True when the plan disables nothing."""
+        return not self.failed_links and not self.failed_nodes

@@ -1,0 +1,130 @@
+"""Messages with bit-accounted headers.
+
+The paper allows "an overhead of O(log n) ... on top of the messages to
+facilitate delivery" (Section 1.1).  To make that bound measurable, every
+header field declares how many bits it occupies and the header can be asked
+for its total size; experiment E7 sweeps the namespace size and reports the
+measured overhead against the ``O(log n)`` envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import HeaderOverflowError
+from repro.core.memory import bits_for_value
+
+__all__ = ["HeaderField", "Header", "Message"]
+
+
+@dataclass(frozen=True)
+class HeaderField:
+    """One named header field together with its declared width in bits."""
+
+    name: str
+    value: object
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise HeaderOverflowError(f"field {self.name!r} declares negative width")
+        actual = bits_for_value(self.value)
+        if actual > self.bits:
+            raise HeaderOverflowError(
+                f"field {self.name!r} holds a value needing {actual} bits "
+                f"but declares only {self.bits}"
+            )
+
+
+class Header:
+    """An ordered collection of :class:`HeaderField` objects.
+
+    Headers are immutable; protocol code builds a new header for every hop
+    (which mirrors the paper's model where intermediate nodes store nothing
+    and all transient state travels with the message).
+    """
+
+    def __init__(self, fields: Iterable[HeaderField] = ()) -> None:
+        self._fields: Tuple[HeaderField, ...] = tuple(fields)
+        names = [f.name for f in self._fields]
+        if len(names) != len(set(names)):
+            raise HeaderOverflowError("duplicate header field names")
+
+    @classmethod
+    def from_values(cls, widths: Mapping[str, int], values: Mapping[str, object]) -> "Header":
+        """Build a header from a width schema and a value mapping."""
+        missing = set(widths) - set(values)
+        if missing:
+            raise HeaderOverflowError(f"missing header values for {sorted(missing)}")
+        extra = set(values) - set(widths)
+        if extra:
+            raise HeaderOverflowError(f"values for undeclared header fields {sorted(extra)}")
+        return cls(HeaderField(name, values[name], widths[name]) for name in widths)
+
+    def get(self, name: str) -> object:
+        """Value of the named field."""
+        for header_field in self._fields:
+            if header_field.name == name:
+                return header_field.value
+        raise KeyError(name)
+
+    def replace(self, **updates: object) -> "Header":
+        """Return a new header with the given field values replaced."""
+        unknown = set(updates) - {f.name for f in self._fields}
+        if unknown:
+            raise HeaderOverflowError(f"cannot update undeclared fields {sorted(unknown)}")
+        new_fields = [
+            HeaderField(f.name, updates.get(f.name, f.value), f.bits) for f in self._fields
+        ]
+        return Header(new_fields)
+
+    @property
+    def total_bits(self) -> int:
+        """Declared size of the header in bits (the message overhead)."""
+        return sum(f.bits for f in self._fields)
+
+    def names(self) -> List[str]:
+        """Field names in declaration order."""
+        return [f.name for f in self._fields]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Field values keyed by name."""
+        return {f.name: f.value for f in self._fields}
+
+    def __iter__(self) -> Iterator[HeaderField]:
+        return iter(self._fields)
+
+    def __contains__(self, name: object) -> bool:
+        return any(f.name == name for f in self._fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}={f.value!r}" for f in self._fields)
+        return f"Header({inner}; {self.total_bits} bits)"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message: an opaque payload plus a routing header.
+
+    ``payload_bits`` is carried separately because the paper's overhead bound
+    concerns only the header; the payload is whatever the application wants to
+    deliver and its size is not the routing layer's business.
+    """
+
+    header: Header
+    payload: object = None
+    payload_bits: int = 0
+
+    @property
+    def overhead_bits(self) -> int:
+        """Routing overhead of this message (header only)."""
+        return self.header.total_bits
+
+    def with_header(self, header: Header) -> "Message":
+        """Return a copy of the message carrying a different header."""
+        return Message(header=header, payload=self.payload, payload_bits=self.payload_bits)
+
+    def update_header(self, **updates: object) -> "Message":
+        """Return a copy with some header fields replaced."""
+        return self.with_header(self.header.replace(**updates))

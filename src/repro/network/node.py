@@ -1,0 +1,139 @@
+"""Nodes of the simulated ad hoc network and the context handed to protocols.
+
+Nodes are deliberately thin: a node knows its own identifier, its "universal
+name" drawn from the namespace, its degree (number of radio links / ports),
+optionally its physical position, and nothing else.  All protocol state lives
+in the node's :class:`~repro.core.memory.MemoryMeter`, so the O(log n) space
+restriction of the paper's model is enforced (or at least measured) by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.memory import MemoryMeter
+from repro.errors import ProtocolViolation
+from repro.geometry.points import Point
+from repro.network.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.network.simulator import Simulator
+
+__all__ = ["Node", "NodeContext"]
+
+
+@dataclass
+class Node:
+    """A network node.
+
+    Attributes
+    ----------
+    node_id:
+        Vertex of the connectivity graph this node sits on.
+    name:
+        The node's "unique universal name" from the namespace (the paper
+        suggests physical locations; any integer namespace works).
+    degree:
+        Number of physical ports (radio links) of the node.
+    memory:
+        Metered protocol state storage.
+    position:
+        Physical position when the network came from a deployment; position-
+        based baselines require it, the exploration-sequence algorithms do not.
+    """
+
+    node_id: int
+    name: int
+    degree: int
+    memory: MemoryMeter
+    position: Optional[Point] = None
+
+
+class NodeContext:
+    """The API surface a protocol handler sees while running on a node.
+
+    The context exposes only information a real node would have: its own
+    identity, its ports, its position (if it has a GPS), its memory, the
+    current time, and the ability to transmit a message out of one of its
+    ports or deliver a payload to the local application.  In particular there
+    is no way to look up the global topology — protocols that need global
+    information must gather it through messages, as in the paper's model.
+    """
+
+    def __init__(self, simulator: "Simulator", node: Node, time: int) -> None:
+        self._simulator = simulator
+        self._node = node
+        self._time = time
+
+    # -- identity ------------------------------------------------------- #
+
+    @property
+    def node_id(self) -> int:
+        """Graph vertex of this node."""
+        return self._node.node_id
+
+    @property
+    def name(self) -> int:
+        """Universal name of this node."""
+        return self._node.name
+
+    @property
+    def degree(self) -> int:
+        """Number of ports (physical links) of this node."""
+        return self._node.degree
+
+    @property
+    def position(self) -> Optional[Point]:
+        """Physical position, when known."""
+        return self._node.position
+
+    @property
+    def memory(self) -> MemoryMeter:
+        """The node's metered protocol state."""
+        return self._node.memory
+
+    @property
+    def time(self) -> int:
+        """Current simulation time."""
+        return self._time
+
+    # -- neighbourhood-local information -------------------------------- #
+
+    def neighbor_name(self, port: int) -> int:
+        """Universal name of the neighbour reachable through ``port``.
+
+        In a radio network a node learns its neighbours' names from a single
+        local hello exchange, so exposing them through the context does not
+        leak non-local information.
+        """
+        return self._simulator.neighbor_name(self._node.node_id, port)
+
+    def neighbor_position(self, port: int) -> Optional[Point]:
+        """Position of the neighbour reachable through ``port`` (if deployed)."""
+        return self._simulator.neighbor_position(self._node.node_id, port)
+
+    # -- actions --------------------------------------------------------- #
+
+    def send(self, port: int, message: Message) -> None:
+        """Transmit ``message`` out of ``port``.
+
+        Raises
+        ------
+        ProtocolViolation
+            If the port does not exist on this node.
+        """
+        if not 0 <= port < self._node.degree:
+            raise ProtocolViolation(
+                f"node {self._node.node_id} has no port {port} (degree {self._node.degree})"
+            )
+        self._simulator.transmit(self._node.node_id, port, message, self._time)
+
+    def deliver(self, payload: object, note: str = "") -> None:
+        """Hand a payload to the local application (records a delivery)."""
+        self._simulator.record_delivery(self._node.node_id, payload, self._time, note)
+
+    def finish(self, result: object) -> None:
+        """Report a protocol-level result (e.g. the routing outcome at the source)."""
+        self._simulator.record_result(self._node.node_id, result, self._time)

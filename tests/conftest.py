@@ -1,0 +1,80 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures centralise the small graph/network instances most tests need and
+share a single sequence provider so its per-size caches are reused across the
+whole run (the provider is deterministic, so sharing cannot couple tests).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.universal import RandomSequenceProvider
+from repro.geometry.deployment import grid_deployment, random_deployment
+from repro.geometry.unit_disk import unit_disk_graph
+from repro.graphs import generators
+from repro.network.adhoc import build_graph_network, build_unit_disk_network
+
+
+@pytest.fixture(scope="session")
+def provider():
+    """A shared deterministic sequence provider (cache reused across tests)."""
+    return RandomSequenceProvider(seed=7)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for per-test randomness."""
+    return random.Random(12345)
+
+
+@pytest.fixture(scope="session")
+def grid_4x4():
+    """A 4x4 grid graph (16 vertices, degrees 2-4)."""
+    return generators.grid_graph(4, 4)
+
+
+@pytest.fixture(scope="session")
+def prism_6():
+    """A natively 3-regular prism on 12 vertices."""
+    return generators.prism_graph(6)
+
+
+@pytest.fixture(scope="session")
+def petersen():
+    """The Petersen graph."""
+    return generators.petersen_graph()
+
+
+@pytest.fixture(scope="session")
+def two_components():
+    """Two disjoint rings: routing between them must report failure."""
+    return generators.disjoint_union(
+        [generators.cycle_graph(5), generators.cycle_graph(4)]
+    )
+
+
+@pytest.fixture(scope="session")
+def udg_network_2d():
+    """A small connected-ish 2D unit-disk network with positions."""
+    return build_unit_disk_network(24, radius=0.35, seed=3)
+
+
+@pytest.fixture(scope="session")
+def udg_network_3d():
+    """A small 3D unit-ball network with positions."""
+    return build_unit_disk_network(24, radius=0.5, dimension=3, seed=5)
+
+
+@pytest.fixture(scope="session")
+def grid_network():
+    """A 4x4 grid wrapped as an ad hoc network with a 16-bit namespace."""
+    return build_graph_network(generators.grid_graph(4, 4), namespace_size=2**16, name_seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_deployment():
+    """A 3x3 grid deployment used by the geometry tests."""
+    return grid_deployment(3, 3, spacing=1.0)

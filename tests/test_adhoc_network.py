@@ -1,0 +1,93 @@
+"""Tests for ad hoc network construction (graphs + names + deployments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GeometryError, GraphStructureError
+from repro.graphs import generators
+from repro.network.adhoc import AdHocNetwork, build_graph_network, build_unit_disk_network
+
+
+def test_build_graph_network_defaults():
+    graph = generators.cycle_graph(6)
+    network = build_graph_network(graph)
+    assert network.num_nodes == 6
+    assert network.namespace_size == 6
+    assert network.names == {v: v for v in graph.vertices}
+    assert network.deployment is None
+    assert network.name_bits == 3
+
+
+def test_build_graph_network_random_names_unique_and_in_namespace():
+    graph = generators.grid_graph(3, 3)
+    network = build_graph_network(graph, namespace_size=2 ** 16, name_seed=7)
+    names = list(network.names.values())
+    assert len(set(names)) == 9
+    assert all(0 <= name < 2 ** 16 for name in names)
+    assert network.name_bits == 16
+
+
+def test_name_lookup_round_trip():
+    network = build_graph_network(generators.path_graph(4), namespace_size=100, name_seed=1)
+    for node in network.graph.vertices:
+        assert network.node_of(network.name_of(node)) == node
+    with pytest.raises(GraphStructureError):
+        network.node_of(999999)
+
+
+def test_namespace_too_small_rejected():
+    with pytest.raises(GraphStructureError):
+        build_graph_network(generators.cycle_graph(8), namespace_size=4)
+
+
+def test_adhoc_network_validates_names():
+    graph = generators.path_graph(3)
+    with pytest.raises(GraphStructureError):
+        AdHocNetwork(graph=graph, namespace_size=10, names={0: 1, 1: 1, 2: 2})
+    with pytest.raises(GraphStructureError):
+        AdHocNetwork(graph=graph, namespace_size=10, names={0: 1, 1: 2})
+    with pytest.raises(GraphStructureError):
+        AdHocNetwork(graph=graph, namespace_size=2, names={0: 0, 1: 1, 2: 5})
+
+
+def test_build_unit_disk_network_2d():
+    network = build_unit_disk_network(20, radius=0.4, seed=1)
+    assert network.num_nodes == 20
+    assert network.deployment is not None
+    assert network.deployment.dimension == 2
+    # Nodes with neighbours in range actually have edges.
+    assert network.graph.num_edges > 0
+
+
+def test_build_unit_disk_network_3d():
+    network = build_unit_disk_network(15, radius=0.6, dimension=3, seed=2)
+    assert network.deployment.dimension == 3
+    assert network.num_nodes == 15
+
+
+def test_build_unit_disk_network_rejects_bad_dimension():
+    with pytest.raises(GeometryError):
+        build_unit_disk_network(10, radius=0.3, dimension=4)
+
+
+def test_unit_disk_network_deterministic_per_seed():
+    a = build_unit_disk_network(20, radius=0.3, seed=5)
+    b = build_unit_disk_network(20, radius=0.3, seed=5)
+    assert a.graph == b.graph
+    assert a.names == b.names
+
+
+def test_simulator_from_network_carries_positions():
+    network = build_unit_disk_network(10, radius=0.5, seed=3)
+    simulator = network.simulator()
+    node = simulator.node(0)
+    assert node.position == network.deployment.position(0)
+    assert node.degree == network.graph.degree(0)
+
+
+def test_namespace_size_ipv4_example():
+    network = build_graph_network(
+        generators.cycle_graph(10), namespace_size=2 ** 32, name_seed=11
+    )
+    assert network.name_bits == 32

@@ -1,0 +1,89 @@
+"""Tests for adversarial-labeling and worst-case-coverage analysis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.adversary import (
+    find_adversarial_labeling,
+    find_uncovered_start,
+    shortest_defeating_prefix,
+    worst_case_coverage_steps,
+)
+from repro.core.exploration import ExplicitSequence
+from repro.graphs import generators
+
+
+def _long_random_sequence(length=4000, seed=1):
+    rng = random.Random(seed)
+    return ExplicitSequence([rng.randrange(3) for _ in range(length)])
+
+
+def test_trivial_sequence_has_uncovered_start():
+    graph = generators.prism_graph(4)
+    witness = find_uncovered_start(graph, ExplicitSequence([0]))
+    assert witness is not None
+    assert witness.graph is graph
+    assert 0 <= witness.start_port < 3
+
+
+def test_long_sequence_has_no_uncovered_start_on_small_graph():
+    graph = generators.prism_graph(4)
+    assert find_uncovered_start(graph, _long_random_sequence()) is None
+
+
+def test_adversarial_labeling_search_defeats_short_sequences():
+    graph = generators.prism_graph(5)
+    short = ExplicitSequence([0, 1, 2, 0, 1, 2])
+    witness = find_adversarial_labeling(graph, short, attempts=8, seed=0)
+    assert witness is not None
+    assert witness.relabeling_seed is not None
+    # The witness graph has the same degrees as the original (only labels moved).
+    assert {witness.graph.degree(v) for v in witness.graph.vertices} == {3}
+
+
+def test_adversarial_labeling_search_gives_up_on_good_sequences():
+    graph = generators.complete_graph(4)
+    assert find_adversarial_labeling(graph, _long_random_sequence(), attempts=4, seed=3) is None
+
+
+def test_worst_case_coverage_steps_bounds_every_start():
+    from repro.core.exploration import coverage_steps
+
+    graph = generators.petersen_graph()
+    sequence = _long_random_sequence(seed=5)
+    worst = worst_case_coverage_steps(graph, sequence)
+    assert worst is not None
+    for vertex in graph.vertices:
+        for port in range(3):
+            assert coverage_steps(graph, sequence, vertex, port) <= worst
+
+
+def test_worst_case_coverage_none_when_some_start_fails():
+    graph = generators.prism_graph(6)
+    assert worst_case_coverage_steps(graph, ExplicitSequence([0, 0])) is None
+
+
+def test_shortest_defeating_prefix_behaviour():
+    graph = generators.complete_graph(4)
+    sequence = _long_random_sequence(seed=7)
+    needed = shortest_defeating_prefix(graph, sequence)
+    assert 1 <= needed < len(sequence)
+    # A prefix of exactly that length still covers from every start; the
+    # full-sequence worst case equals it by definition.
+    assert worst_case_coverage_steps(graph, sequence) == needed
+    # A hopeless sequence reports length + 1.
+    assert shortest_defeating_prefix(graph, ExplicitSequence([0])) == 2
+
+
+def test_certified_provider_sequences_resist_the_adversary(provider):
+    """Sequences from the certified provider survive the labeling adversary on
+    the graphs the certification family covers."""
+    from repro.core.universal import CertifiedSequenceProvider
+
+    certified = CertifiedSequenceProvider(base=provider, exhaustive_up_to=2)
+    sequence = certified.sequence_for(8)
+    for graph in (generators.complete_graph(4), generators.prism_graph(4)):
+        assert find_adversarial_labeling(graph, sequence, attempts=6, seed=11) is None

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    out = io.StringIO()
+    status = main(argv, out=out)
+    return status, out.getvalue()
+
+
+def test_parser_requires_a_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_route_command_success_output():
+    status, output = _run(
+        ["route", "--family", "grid", "--size", "16", "--source", "0", "--target", "15", "--seed", "1"]
+    )
+    assert status == 0
+    assert "outcome" in output and "success" in output
+    assert "header overhead" in output
+
+
+def test_route_command_reports_failure_for_missing_target():
+    status, output = _run(
+        ["route", "--family", "ring", "--size", "8", "--source", "0", "--target", "99"]
+    )
+    assert status == 0
+    assert "failure" in output
+
+
+def test_route_command_bad_source_returns_error_status():
+    status, output = _run(
+        ["route", "--family", "ring", "--size", "8", "--source", "99", "--target", "0"]
+    )
+    assert status == 2
+    assert "error:" in output
+
+
+def test_broadcast_command_covers_component():
+    status, output = _run(["broadcast", "--family", "grid", "--size", "9", "--source", "0"])
+    assert status == 0
+    assert "covered component" in output
+    assert "yes" in output
+    assert "flooding transmissions" in output
+
+
+def test_count_command_reports_component_size():
+    status, output = _run(["count", "--family", "ring", "--size", "12", "--source", "0"])
+    assert status == 0
+    assert "original nodes in C_s" in output
+    assert "12" in output
+
+
+def test_compare_command_lists_algorithms():
+    status, output = _run(
+        ["compare", "--family", "unit-disk", "--size", "18", "--radius", "0.35", "--pairs", "2", "--seed", "4"]
+    )
+    assert status == 0
+    for name in ("ues-route", "random-walk", "flooding", "dfs-token", "greedy"):
+        assert name in output
+
+
+def test_compare_command_without_positions_skips_greedy():
+    status, output = _run(["compare", "--family", "ring", "--size", "10", "--pairs", "2"])
+    assert status == 0
+    assert "greedy" not in output
+    assert "ues-route" in output
+
+
+def test_namespace_bits_flag_changes_overhead():
+    _, small = _run(
+        ["route", "--family", "grid", "--size", "16", "--target", "15", "--namespace-bits", "8"]
+    )
+    _, large = _run(
+        ["route", "--family", "grid", "--size", "16", "--target", "15", "--namespace-bits", "48"]
+    )
+
+    def header_bits(output):
+        for line in output.splitlines():
+            if "header overhead" in line:
+                return int(line.split()[-1])
+        raise AssertionError("header line missing")
+
+    assert header_bits(large) == header_bits(small) + 2 * 40
+
+
+def test_dimension_flag_accepts_3d():
+    status, output = _run(
+        ["route", "--family", "unit-disk", "--size", "15", "--radius", "0.5", "--dimension", "3", "--target", "3"]
+    )
+    assert status == 0
+    assert "outcome" in output

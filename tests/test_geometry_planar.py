@@ -1,0 +1,133 @@
+"""Tests for Gabriel/RNG planarisation and face-traversal geometry."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.deployment import grid_deployment, random_deployment
+from repro.geometry.planar import (
+    angle_of_edge,
+    gabriel_subgraph,
+    next_edge_clockwise,
+    next_edge_counterclockwise,
+    relative_neighborhood_subgraph,
+    segments_properly_intersect,
+)
+from repro.geometry.points import Point
+from repro.geometry.unit_disk import unit_disk_graph
+from repro.graphs.connectivity import is_connected
+
+
+def _planar_embedding_has_no_crossings(graph, deployment):
+    """Brute-force check that no two edges properly cross."""
+    edges = [
+        (e.u, e.v)
+        for e in graph.edges()
+        if e.u != e.v
+    ]
+    for (a, b), (c, d) in itertools.combinations(edges, 2):
+        if len({a, b, c, d}) < 4:
+            continue
+        if segments_properly_intersect(
+            deployment.position(a),
+            deployment.position(b),
+            deployment.position(c),
+            deployment.position(d),
+        ):
+            return False
+    return True
+
+
+def test_gabriel_subgraph_is_subgraph_and_planar():
+    deployment = random_deployment(25, seed=11)
+    udg = unit_disk_graph(deployment, radius=0.4)
+    gabriel = gabriel_subgraph(udg, deployment)
+    assert gabriel.num_edges <= udg.num_edges
+    assert set(gabriel.vertices) == set(udg.vertices)
+    assert _planar_embedding_has_no_crossings(gabriel, deployment)
+
+
+def test_gabriel_subgraph_preserves_connectivity():
+    deployment = random_deployment(25, seed=13)
+    udg = unit_disk_graph(deployment, radius=0.45)
+    gabriel = gabriel_subgraph(udg, deployment)
+    if is_connected(udg):
+        assert is_connected(gabriel)
+
+
+def test_rng_is_subgraph_of_gabriel():
+    deployment = random_deployment(20, seed=7)
+    udg = unit_disk_graph(deployment, radius=0.5)
+    gabriel = gabriel_subgraph(udg, deployment)
+    rng_graph = relative_neighborhood_subgraph(udg, deployment)
+    gabriel_edges = {frozenset((e.u, e.v)) for e in gabriel.edges()}
+    rng_edges = {frozenset((e.u, e.v)) for e in rng_graph.edges()}
+    assert rng_edges <= gabriel_edges
+
+
+def test_gabriel_removes_blocked_edge():
+    # Three collinear-ish points: the long edge 0-2 contains point 1 in its
+    # diametral circle, so Gabriel must remove it.
+    from repro.geometry.deployment import Deployment
+
+    deployment = Deployment(
+        {0: Point.planar(0, 0), 1: Point.planar(1, 0.01), 2: Point.planar(2, 0)}
+    )
+    udg = unit_disk_graph(deployment, radius=3.0)
+    gabriel = gabriel_subgraph(udg, deployment)
+    assert not gabriel.has_edge(0, 2)
+    assert gabriel.has_edge(0, 1) and gabriel.has_edge(1, 2)
+
+
+def test_angle_of_edge_cardinal_directions():
+    deployment = grid_deployment(2, 2)
+    assert angle_of_edge(deployment, 0, 1) == pytest.approx(0.0)
+    assert angle_of_edge(deployment, 0, 2) == pytest.approx(math.pi / 2)
+    assert angle_of_edge(deployment, 1, 0) == pytest.approx(math.pi)
+
+
+def test_angle_of_edge_requires_2d():
+    deployment = random_deployment(4, dimension=3, seed=0)
+    with pytest.raises(GeometryError):
+        angle_of_edge(deployment, 0, 1)
+
+
+def test_next_edge_counterclockwise_cycles_through_neighbors():
+    deployment = grid_deployment(3, 3)
+    graph = unit_disk_graph(deployment, radius=1.0)
+    centre = 4
+    # Neighbours of the centre are 1 (below), 3 (left), 5 (right), 7 (above).
+    order = []
+    current = 1
+    for _ in range(4):
+        current = next_edge_counterclockwise(graph, deployment, centre, current)
+        order.append(current)
+    assert set(order) == {1, 3, 5, 7}
+    assert order[-1] == 1  # full turn returns to the start
+
+
+def test_next_edge_clockwise_is_inverse_of_ccw():
+    deployment = grid_deployment(3, 3)
+    graph = unit_disk_graph(deployment, radius=1.0)
+    centre = 4
+    for reference in (1, 3, 5, 7):
+        ccw = next_edge_counterclockwise(graph, deployment, centre, reference)
+        assert next_edge_clockwise(graph, deployment, centre, ccw) == reference
+
+
+def test_segments_properly_intersect_cases():
+    a, b = Point.planar(0, 0), Point.planar(2, 2)
+    c, d = Point.planar(0, 2), Point.planar(2, 0)
+    assert segments_properly_intersect(a, b, c, d)
+    # Sharing an endpoint is not a proper intersection.
+    assert not segments_properly_intersect(a, b, a, Point.planar(5, 0))
+    # Parallel disjoint segments do not intersect.
+    assert not segments_properly_intersect(
+        Point.planar(0, 0), Point.planar(1, 0), Point.planar(0, 1), Point.planar(1, 1)
+    )
+    with pytest.raises(GeometryError):
+        segments_properly_intersect(a, b, c, Point.spatial(1, 1, 1))

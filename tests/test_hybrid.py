@@ -1,0 +1,98 @@
+"""Tests for the Corollary 2 hybrid combiner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import RoutingAttempt
+from repro.baselines.random_walk_routing import random_walk_route
+from repro.core.hybrid import hybrid_route
+from repro.core.routing import RouteOutcome
+from repro.errors import RoutingError
+from repro.graphs import generators
+
+
+def _fast_random_walk(seed=0, max_steps=None):
+    def router(graph, source, target):
+        return random_walk_route(graph, source, target, seed=seed, max_steps=max_steps)
+
+    return router
+
+
+def test_hybrid_delivers_when_fast_router_succeeds(provider, grid_4x4):
+    result = hybrid_route(grid_4x4, 0, 15, _fast_random_walk(seed=1), provider=provider)
+    assert result.outcome is RouteOutcome.SUCCESS
+    assert result.delivered
+    assert result.winner in ("fast", "guaranteed")
+    assert result.total_messages == 2 * result.rounds
+
+
+def test_hybrid_guaranteed_backstop_when_fast_router_fails(provider, grid_4x4):
+    # A fast router with a 1-step budget essentially always fails; the
+    # guaranteed router must still deliver.
+    result = hybrid_route(
+        grid_4x4, 0, 15, _fast_random_walk(seed=1, max_steps=1), provider=provider
+    )
+    assert result.outcome is RouteOutcome.SUCCESS
+    assert result.winner == "guaranteed"
+    assert result.delivered
+
+
+def test_hybrid_detects_unreachable_target(provider, two_components):
+    result = hybrid_route(
+        two_components, 0, 8, _fast_random_walk(seed=2, max_steps=50), provider=provider
+    )
+    assert result.outcome is RouteOutcome.FAILURE
+    assert not result.delivered
+    assert result.winner == "guaranteed"
+
+
+def test_hybrid_cost_at_most_twice_the_winner(provider, grid_4x4):
+    fast = _fast_random_walk(seed=3)
+    result = hybrid_route(grid_4x4, 0, 15, fast, provider=provider)
+    winner_cost = (
+        result.fast_attempt.hops if result.fast_won else result.guaranteed_result.physical_hops
+    )
+    assert result.total_messages <= 2 * winner_cost
+    assert result.rounds == winner_cost
+
+
+def test_hybrid_fast_win_costs_no_more_than_fast_alone_doubled(provider):
+    graph = generators.grid_graph(3, 3)
+    fast = _fast_random_walk(seed=4)
+    standalone = fast(graph, 0, 8)
+    result = hybrid_route(graph, 0, 8, fast, provider=provider)
+    if result.fast_won:
+        assert result.total_messages == 2 * standalone.hops
+
+
+def test_hybrid_rejects_inconsistent_fast_router(provider, two_components):
+    def lying_router(graph, source, target):
+        return RoutingAttempt(algorithm="liar", delivered=True, hops=1)
+
+    with pytest.raises(RoutingError):
+        hybrid_route(two_components, 0, 8, lying_router, provider=provider)
+
+
+def test_hybrid_exposes_both_sub_results(provider, grid_4x4):
+    result = hybrid_route(grid_4x4, 2, 13, _fast_random_walk(seed=5), provider=provider)
+    assert result.fast_attempt.algorithm == "random-walk"
+    assert result.guaranteed_result.outcome is RouteOutcome.SUCCESS
+
+
+def test_hybrid_works_with_greedy_geographic_router(provider):
+    from repro.baselines.greedy_geo import greedy_geographic_route
+    from repro.network.adhoc import build_unit_disk_network
+
+    network = build_unit_disk_network(25, radius=0.4, seed=6)
+    deployment = network.deployment
+
+    def greedy_router(graph, source, target):
+        return greedy_geographic_route(graph, deployment, source, target)
+
+    source = network.graph.vertices[0]
+    target = network.graph.vertices[-1]
+    result = hybrid_route(network.graph, source, target, greedy_router, provider=provider)
+    from repro.graphs.connectivity import are_connected
+
+    assert result.delivered == are_connected(network.graph, source, target)

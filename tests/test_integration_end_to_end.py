@@ -1,0 +1,131 @@
+"""End-to-end integration tests spanning the whole pipeline.
+
+These tests chain the pieces the way the paper intends them to be used:
+deploy an ad hoc network, (optionally) discover the component size with
+``CountNodes``, route or broadcast over the simulated network with the
+guaranteed algorithm, and compare against the baselines on the identical
+instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    delivery_rate,
+    failure_detection_rate,
+    observation_from_attempt,
+    observation_from_route,
+)
+from repro.baselines.dfs_routing import dfs_token_route
+from repro.baselines.flooding import flood_route
+from repro.baselines.greedy_geo import greedy_geographic_route
+from repro.baselines.random_walk_routing import random_walk_route
+from repro.core.broadcast import broadcast_on_network
+from repro.core.counting import count_nodes
+from repro.core.hybrid import hybrid_route
+from repro.core.routing import RouteOutcome, route, route_on_network
+from repro.graphs.connectivity import are_connected, connected_component
+from repro.network.adhoc import build_unit_disk_network
+
+
+def test_full_pipeline_count_then_route_then_broadcast(provider):
+    network = build_unit_disk_network(30, radius=0.3, seed=4, namespace_size=2 ** 32, name_seed=1)
+    source = network.graph.vertices[0]
+
+    # Section 4: discover the component size with no prior knowledge.
+    counted = count_nodes(network.graph, source, provider=provider)
+    component = connected_component(network.graph, source)
+    assert counted.original_count == len(component)
+
+    # Section 3: route to every node of the component using the counted bound.
+    for target in sorted(component)[:6]:
+        result = route(
+            network.graph, source, target, provider=provider, size_bound=counted.virtual_count
+        )
+        assert result.outcome is RouteOutcome.SUCCESS
+
+    # Broadcasting over the simulated network reaches exactly the component.
+    broadcast_result = broadcast_on_network(
+        network, source, provider=provider, size_bound=counted.virtual_count
+    )
+    assert broadcast_result.reached == frozenset(component)
+
+
+def test_guaranteed_router_vs_baselines_on_one_instance(provider):
+    network = build_unit_disk_network(26, radius=0.32, seed=9)
+    graph, deployment = network.graph, network.deployment
+    source = graph.vertices[0]
+    targets = [v for v in graph.vertices if v != source][:8]
+
+    ues_obs, walk_obs, greedy_obs = [], [], []
+    for target in targets:
+        ues_obs.append(observation_from_route(graph, route(graph, source, target, provider=provider)))
+        walk_obs.append(
+            observation_from_attempt(
+                graph, source, target,
+                random_walk_route(graph, source, target, seed=target, max_steps=2000),
+            )
+        )
+        greedy_obs.append(
+            observation_from_attempt(
+                graph, source, target, greedy_geographic_route(graph, deployment, source, target)
+            )
+        )
+
+    # The guaranteed router is perfect on both axes.
+    assert delivery_rate(ues_obs) == 1.0
+    assert failure_detection_rate(ues_obs) == 1.0
+    # The baselines are allowed to be worse, never better.
+    assert delivery_rate(walk_obs) <= 1.0
+    assert delivery_rate(greedy_obs) <= 1.0
+    assert failure_detection_rate(walk_obs) <= 1.0
+
+
+def test_distributed_and_centralised_agree_everywhere(provider):
+    network = build_unit_disk_network(18, radius=0.34, seed=12)
+    source = network.graph.vertices[0]
+    for target in network.graph.vertices:
+        central = route(network.graph, source, target, provider=provider)
+        distributed = route_on_network(network, source, target, provider=provider)
+        assert central.outcome == distributed.outcome
+        assert central.delivered == distributed.delivered
+
+
+def test_hybrid_upgrades_greedy_on_unit_disk(provider):
+    network = build_unit_disk_network(26, radius=0.3, seed=21)
+    graph, deployment = network.graph, network.deployment
+
+    def greedy_router(g, s, t):
+        return greedy_geographic_route(g, deployment, s, t)
+
+    source = graph.vertices[0]
+    outcomes = []
+    for target in graph.vertices[1:10]:
+        result = hybrid_route(graph, source, target, greedy_router, provider=provider)
+        outcomes.append(result)
+        assert result.delivered == are_connected(graph, source, target)
+    assert any(r.fast_won for r in outcomes) or all(not r.fast_won for r in outcomes)
+
+
+def test_guaranteed_router_handles_every_pair_including_unreachable(provider):
+    network = build_unit_disk_network(20, radius=0.22, seed=2)  # sparse: likely disconnected
+    graph = network.graph
+    correct = 0
+    pairs = [(graph.vertices[i], graph.vertices[-1 - i]) for i in range(6)]
+    for source, target in pairs:
+        result = route(graph, source, target, provider=provider)
+        reachable = are_connected(graph, source, target)
+        assert result.delivered == reachable
+        correct += 1
+    assert correct == len(pairs)
+
+
+def test_flooding_and_dfs_match_guaranteed_verdicts(provider):
+    network = build_unit_disk_network(22, radius=0.26, seed=17)
+    graph = network.graph
+    source = graph.vertices[0]
+    for target in graph.vertices[1:10]:
+        verdict = route(graph, source, target, provider=provider).delivered
+        assert flood_route(graph, source, target).delivered == verdict
+        assert dfs_token_route(graph, source, target).delivered == verdict

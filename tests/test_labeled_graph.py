@@ -1,0 +1,217 @@
+"""Unit tests for the rotation-map graph representation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphStructureError, NotRegularError, PortLabelingError
+from repro.graphs import generators
+from repro.graphs.labeled_graph import LabeledGraph, PortEdge
+
+
+def test_from_edges_builds_expected_degrees():
+    graph = LabeledGraph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+    assert graph.num_vertices == 4
+    assert graph.num_edges == 4
+    assert graph.degree(0) == 2
+    assert graph.degree(2) == 3
+    assert graph.degree(3) == 1
+
+
+def test_rotation_is_involution_on_simple_graph():
+    graph = LabeledGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+    for v in graph.vertices:
+        for port in range(graph.degree(v)):
+            w, j = graph.rotation(v, port)
+            assert graph.rotation(w, j) == (v, port)
+
+
+def test_ports_are_contiguous_per_vertex():
+    graph = generators.grid_graph(3, 3)
+    for v in graph.vertices:
+        neighbors = [graph.rotation(v, p)[0] for p in range(graph.degree(v))]
+        assert len(neighbors) == graph.degree(v)
+    with pytest.raises(GraphStructureError):
+        graph.rotation(0, graph.degree(0))
+
+
+def test_invalid_rotation_not_involution_rejected():
+    rotation = {(0, 0): (1, 0), (1, 0): (2, 0), (2, 0): (0, 0)}
+    with pytest.raises(GraphStructureError):
+        LabeledGraph(rotation)
+
+
+def test_invalid_port_numbering_rejected():
+    rotation = {(0, 1): (1, 0), (1, 0): (0, 1)}
+    with pytest.raises(PortLabelingError):
+        LabeledGraph(rotation)
+
+
+def test_half_loop_counts_once():
+    rotation = {(0, 0): (0, 0), (0, 1): (1, 0), (1, 0): (0, 1)}
+    graph = LabeledGraph(rotation)
+    assert graph.num_edges == 2
+    assert graph.degree(0) == 2
+    assert graph.self_loop_count() == 1
+
+
+def test_two_port_self_loop_counts_once_with_degree_two():
+    rotation = {(0, 0): (0, 1), (0, 1): (0, 0)}
+    graph = LabeledGraph(rotation)
+    assert graph.num_edges == 1
+    assert graph.degree(0) == 2
+    assert graph.self_loop_count() == 1
+
+
+def test_parallel_edges_supported():
+    graph = LabeledGraph.from_edges([(0, 1), (0, 1), (0, 1)])
+    assert graph.num_edges == 3
+    assert graph.degree(0) == 3
+    assert graph.parallel_edge_count() == 2
+
+
+def test_isolated_vertices_have_degree_zero():
+    graph = LabeledGraph.from_edges([(0, 1)], vertices=[0, 1, 2, 3])
+    assert graph.degree(2) == 0
+    assert graph.degree(3) == 0
+    assert graph.num_vertices == 4
+    assert graph.neighbors(2) == []
+
+
+def test_neighbors_and_ports_to():
+    graph = LabeledGraph.from_edges([(0, 1), (0, 2), (0, 1)])
+    assert sorted(graph.neighbors(0)) == [1, 1, 2]
+    assert len(graph.ports_to(0, 1)) == 2
+    assert graph.port_to(0, 2) in range(graph.degree(0))
+    with pytest.raises(GraphStructureError):
+        graph.port_to(1, 2)
+
+
+def test_has_edge_and_contains():
+    graph = LabeledGraph.from_edges([(0, 1), (1, 2)])
+    assert graph.has_edge(0, 1)
+    assert not graph.has_edge(0, 2)
+    assert 1 in graph
+    assert 99 not in graph
+
+
+def test_edges_iteration_reports_each_edge_once():
+    graph = generators.complete_graph(5)
+    edges = list(graph.edges())
+    assert len(edges) == 10
+    keys = {edge.key() for edge in edges}
+    assert len(keys) == 10
+    assert all(isinstance(edge, PortEdge) for edge in edges)
+
+
+def test_is_regular_and_require_regular():
+    prism = generators.prism_graph(4)
+    assert prism.is_regular(3)
+    assert prism.require_regular() == 3
+    grid = generators.grid_graph(3, 3)
+    assert not grid.is_regular()
+    with pytest.raises(NotRegularError):
+        grid.require_regular(3)
+
+
+def test_relabel_preserves_structure():
+    graph = generators.cycle_graph(5)
+    mapping = {v: v + 100 for v in graph.vertices}
+    relabeled = graph.relabel(mapping)
+    assert set(relabeled.vertices) == {100, 101, 102, 103, 104}
+    assert relabeled.num_edges == graph.num_edges
+    assert relabeled.degree(100) == 2
+
+
+def test_relabel_rejects_non_injective_mapping():
+    graph = generators.cycle_graph(4)
+    with pytest.raises(GraphStructureError):
+        graph.relabel({0: 9, 1: 9})
+
+
+def test_with_contiguous_vertices():
+    graph = LabeledGraph.from_edges([(10, 20), (20, 30)])
+    contiguous, mapping = graph.with_contiguous_vertices()
+    assert set(contiguous.vertices) == {0, 1, 2}
+    assert mapping[10] == 0 and mapping[30] == 2
+
+
+def test_induced_subgraph_repacks_ports():
+    graph = generators.grid_graph(3, 3)
+    sub = graph.induced_subgraph([0, 1, 2, 3, 4, 5])
+    assert set(sub.vertices) == {0, 1, 2, 3, 4, 5}
+    for v in sub.vertices:
+        for port in range(sub.degree(v)):
+            w, j = sub.rotation(v, port)
+            assert sub.rotation(w, j) == (v, port)
+    assert sub.degree(4) <= graph.degree(4)
+
+
+def test_induced_subgraph_unknown_vertex_rejected():
+    graph = generators.cycle_graph(4)
+    with pytest.raises(GraphStructureError):
+        graph.induced_subgraph([0, 99])
+
+
+def test_with_relabeled_ports_keeps_edge_multiset():
+    graph = generators.grid_graph(3, 3)
+    shuffled = graph.with_relabeled_ports(random.Random(5))
+    original_pairs = sorted(tuple(sorted((e.u, e.v))) for e in graph.edges())
+    shuffled_pairs = sorted(tuple(sorted((e.u, e.v))) for e in shuffled.edges())
+    assert original_pairs == shuffled_pairs
+    for v in shuffled.vertices:
+        assert shuffled.degree(v) == graph.degree(v)
+
+
+def test_equality_and_hash():
+    a = generators.cycle_graph(4)
+    b = generators.cycle_graph(4)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != generators.cycle_graph(5)
+
+
+def test_to_networkx_round_trip_edge_count():
+    graph = generators.petersen_graph()
+    nx_graph = graph.to_networkx()
+    assert nx_graph.number_of_nodes() == 10
+    assert nx_graph.number_of_edges() == 15
+    back = LabeledGraph.from_networkx(nx_graph)
+    assert back.num_vertices == 10
+    assert back.num_edges == 15
+
+
+def test_repr_mentions_size():
+    graph = generators.cycle_graph(6)
+    assert "num_vertices=6" in repr(graph)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    p=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_from_edges_rotation_always_involution(n, p, seed):
+    rng = random.Random(seed)
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < p]
+    graph = LabeledGraph.from_edges(edges, vertices=range(n))
+    for v in graph.vertices:
+        for port in range(graph.degree(v)):
+            w, j = graph.rotation(v, port)
+            assert graph.rotation(w, j) == (v, port)
+    assert graph.num_edges == len(edges)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_port_relabeling_preserves_degrees(seed):
+    graph = generators.grid_graph(3, 4)
+    shuffled = graph.with_relabeled_ports(random.Random(seed))
+    assert {v: shuffled.degree(v) for v in shuffled.vertices} == {
+        v: graph.degree(v) for v in graph.vertices
+    }

@@ -1,0 +1,101 @@
+"""Tests for the O(log n) memory accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory import MemoryMeter, bits_for_namespace, bits_for_value
+from repro.errors import MemoryBudgetExceeded
+
+
+def test_bits_for_namespace():
+    assert bits_for_namespace(1) == 1
+    assert bits_for_namespace(2) == 1
+    assert bits_for_namespace(256) == 8
+    assert bits_for_namespace(2 ** 32) == 32
+    with pytest.raises(ValueError):
+        bits_for_namespace(0)
+
+
+def test_bits_for_value_scalars():
+    assert bits_for_value(None) == 0
+    assert bits_for_value(True) == 1
+    assert bits_for_value(0) == 1
+    assert bits_for_value(255) == 8
+    assert bits_for_value(-4) == 4  # 3 magnitude bits + sign
+    assert bits_for_value("ab") == 16
+    with pytest.raises(TypeError):
+        bits_for_value([1, 2])
+
+
+def test_meter_tracks_usage_and_high_water():
+    meter = MemoryMeter()
+    meter.store("index", 1023)
+    assert meter.used_bits == 10
+    meter.store("flag", True)
+    assert meter.used_bits == 11
+    meter.delete("index")
+    assert meter.used_bits == 1
+    assert meter.high_water_bits == 11
+
+
+def test_meter_overwrite_replaces_cost():
+    meter = MemoryMeter()
+    meter.store("x", 2 ** 20)
+    first = meter.used_bits
+    meter.store("x", 1)
+    assert meter.used_bits == 1
+    assert meter.high_water_bits == first
+
+
+def test_meter_budget_enforced():
+    meter = MemoryMeter(budget_bits=8, label="node-3")
+    meter.store("small", 15)
+    with pytest.raises(MemoryBudgetExceeded) as excinfo:
+        meter.store("big", 2 ** 16)
+    assert excinfo.value.budget_bits == 8
+    # The failed store must not have been applied.
+    assert meter.load("big") is None
+    assert meter.used_bits == 4
+
+
+def test_meter_load_delete_clear_and_keys():
+    meter = MemoryMeter()
+    meter.store("a", 3)
+    meter.store("b", "x")
+    assert meter.load("a") == 3
+    assert meter.load("missing", "default") == "default"
+    assert set(meter.keys()) == {"a", "b"}
+    meter.delete("missing")  # no-op
+    meter.clear()
+    assert meter.used_bits == 0
+    assert meter.high_water_bits > 0
+
+
+def test_snapshot_reports_within_budget():
+    meter = MemoryMeter(budget_bits=64)
+    meter.store("index", 12345)
+    snapshot = meter.snapshot()
+    assert snapshot.within_budget
+    assert snapshot.used_bits == meter.used_bits
+    assert dict(snapshot.entries)["index"] == bits_for_value(12345)
+    unlimited = MemoryMeter().snapshot()
+    assert unlimited.within_budget
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2 ** 64))
+def test_property_bits_for_value_matches_bit_length(value):
+    assert bits_for_value(value) == max(1, value.bit_length())
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=2 ** 32), min_size=1, max_size=10))
+def test_property_meter_usage_is_sum_of_entries(values):
+    meter = MemoryMeter()
+    for index, value in enumerate(values):
+        meter.store(f"key{index}", value)
+    assert meter.used_bits == sum(max(1, v.bit_length()) for v in values)
+    assert meter.high_water_bits == meter.used_bits

@@ -1,0 +1,99 @@
+"""Tests for messages and bit-accounted headers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HeaderOverflowError
+from repro.network.message import Header, HeaderField, Message
+
+
+def test_header_field_validates_width():
+    HeaderField("index", 100, 7)
+    with pytest.raises(HeaderOverflowError):
+        HeaderField("index", 200, 7)
+    with pytest.raises(HeaderOverflowError):
+        HeaderField("index", 1, -1)
+
+
+def test_header_total_bits_and_lookup():
+    header = Header(
+        [HeaderField("source", 3, 8), HeaderField("target", 9, 8), HeaderField("dir", 1, 1)]
+    )
+    assert header.total_bits == 17
+    assert header.get("source") == 3
+    assert header.names() == ["source", "target", "dir"]
+    assert "dir" in header and "missing" not in header
+    with pytest.raises(KeyError):
+        header.get("missing")
+
+
+def test_header_duplicate_names_rejected():
+    with pytest.raises(HeaderOverflowError):
+        Header([HeaderField("x", 1, 4), HeaderField("x", 2, 4)])
+
+
+def test_header_from_values_schema_checks():
+    widths = {"source": 8, "index": 16}
+    header = Header.from_values(widths, {"source": 5, "index": 1000})
+    assert header.total_bits == 24
+    with pytest.raises(HeaderOverflowError):
+        Header.from_values(widths, {"source": 5})
+    with pytest.raises(HeaderOverflowError):
+        Header.from_values(widths, {"source": 5, "index": 1, "extra": 2})
+
+
+def test_header_replace_preserves_widths():
+    widths = {"index": 8, "dir": 1}
+    header = Header.from_values(widths, {"index": 3, "dir": 0})
+    updated = header.replace(index=200)
+    assert updated.get("index") == 200
+    assert updated.total_bits == header.total_bits
+    assert header.get("index") == 3  # original untouched
+    with pytest.raises(HeaderOverflowError):
+        header.replace(index=1000)
+    with pytest.raises(HeaderOverflowError):
+        header.replace(unknown=1)
+
+
+def test_header_as_dict_and_repr():
+    header = Header.from_values({"a": 4, "b": 1}, {"a": 2, "b": True})
+    assert header.as_dict() == {"a": 2, "b": True}
+    assert "bits" in repr(header)
+
+
+def test_message_overhead_excludes_payload():
+    header = Header.from_values({"index": 8}, {"index": 1})
+    message = Message(header=header, payload="x" * 1000, payload_bits=8000)
+    assert message.overhead_bits == 8
+    assert message.payload_bits == 8000
+
+
+def test_message_update_header_returns_new_message():
+    header = Header.from_values({"index": 8, "dir": 1}, {"index": 1, "dir": 0})
+    message = Message(header=header, payload="data")
+    updated = message.update_header(index=2, dir=1)
+    assert updated.header.get("index") == 2
+    assert message.header.get("index") == 1
+    assert updated.payload == "data"
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_property_field_width_of_32_bits_accepts_all_32_bit_values(value):
+    field = HeaderField("name", value, 32)
+    assert field.bits == 32
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    widths=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]), st.integers(min_value=1, max_value=16), min_size=1
+    )
+)
+def test_property_header_total_bits_is_sum_of_widths(widths):
+    values = {name: 0 for name in widths}
+    header = Header.from_values(widths, values)
+    assert header.total_bits == sum(widths.values())

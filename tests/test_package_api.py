@@ -1,0 +1,65 @@
+"""Tests for the package-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ exports missing attribute {name}"
+
+
+def test_key_entry_points_are_callable():
+    for name in (
+        "route",
+        "route_on_network",
+        "broadcast",
+        "broadcast_on_network",
+        "count_nodes",
+        "hybrid_route",
+        "build_unit_disk_network",
+        "build_graph_network",
+        "reduce_to_three_regular",
+        "random_walk_route",
+        "flood_route",
+        "greedy_geographic_route",
+        "gfg_route",
+        "dfs_token_route",
+    ):
+        assert callable(getattr(repro, name))
+
+
+def test_subpackages_import_cleanly():
+    for module in (
+        "repro.graphs",
+        "repro.geometry",
+        "repro.expander",
+        "repro.walks",
+        "repro.core",
+        "repro.network",
+        "repro.baselines",
+        "repro.analysis",
+    ):
+        assert importlib.import_module(module) is not None
+
+
+def test_exceptions_form_a_hierarchy():
+    assert issubclass(repro.GraphStructureError, repro.ReproError)
+    assert issubclass(repro.RoutingError, repro.ReproError)
+    assert issubclass(repro.GeometryError, repro.ReproError)
+    assert issubclass(repro.MemoryBudgetExceeded, repro.RoutingError)
+
+
+def test_docstring_quickstart_snippet_works():
+    network = repro.build_unit_disk_network(30, radius=0.35, seed=1)
+    result = repro.route(network.graph, source=0, target=17)
+    assert result.outcome in (repro.RouteOutcome.SUCCESS, repro.RouteOutcome.FAILURE)

@@ -1,0 +1,103 @@
+"""Tests for the distributed Algorithm ``Route`` on the network simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing import RouteOutcome, route, route_on_network
+from repro.errors import RoutingError
+from repro.graphs import generators
+from repro.graphs.connectivity import connected_component
+from repro.network.adhoc import build_graph_network, build_unit_disk_network
+
+
+def test_distributed_route_delivers_on_grid(provider, grid_network):
+    result = route_on_network(grid_network, 0, 15, provider=provider, payload="hello")
+    assert result.outcome is RouteOutcome.SUCCESS
+    assert result.delivered
+    assert result.simulation is not None
+    deliveries = result.simulation.deliveries
+    assert any(record.node == 15 and record.payload == "hello" for record in deliveries)
+
+
+def test_distributed_route_source_learns_failure(provider, two_components):
+    network = build_graph_network(two_components)
+    result = route_on_network(network, 0, 8, provider=provider)
+    assert result.outcome is RouteOutcome.FAILURE
+    assert not result.delivered
+    # The verdict was recorded at the source node.
+    assert result.simulation.result_at(0) is RouteOutcome.FAILURE
+
+
+def test_distributed_route_source_equals_target(provider, grid_network):
+    result = route_on_network(grid_network, 3, 3, provider=provider)
+    assert result.outcome is RouteOutcome.SUCCESS
+    assert result.physical_hops == 0
+
+
+def test_distributed_matches_centralised_outcome(provider):
+    graph = generators.lollipop_graph(4, 3)
+    network = build_graph_network(graph)
+    for target in graph.vertices:
+        central = route(graph, 0, target, provider=provider)
+        distributed = route_on_network(network, 0, target, provider=provider)
+        assert central.outcome == distributed.outcome, f"target {target}"
+
+
+def test_distributed_route_header_bits_within_log_bound(provider, grid_network):
+    result = route_on_network(grid_network, 0, 15, provider=provider)
+    name_bits = grid_network.name_bits
+    index_bits = max(1, result.sequence_length.bit_length())
+    assert result.header_bits <= 2 * name_bits + 1 + 2 + 2 * index_bits
+    assert result.header_bits > 0
+
+
+def test_distributed_route_uses_no_persistent_node_memory(provider, grid_network):
+    result = route_on_network(grid_network, 0, 15, provider=provider)
+    # Intermediate nodes store nothing: the algorithm's state travels entirely
+    # in the message header (the paper's central design point).
+    assert result.node_memory_high_water_bits == 0
+
+
+def test_distributed_route_respects_memory_budget(provider, grid_network):
+    # Even with a hard O(log n) budget switched on, the protocol runs fine
+    # because it stores nothing.
+    result = route_on_network(
+        grid_network, 0, 15, provider=provider, node_memory_bits=64
+    )
+    assert result.outcome is RouteOutcome.SUCCESS
+
+
+def test_distributed_route_on_unit_disk_network(provider):
+    network = build_unit_disk_network(20, radius=0.35, seed=8)
+    source = network.graph.vertices[0]
+    component = connected_component(network.graph, source)
+    targets = [v for v in component if v != source][:3]
+    for target in targets:
+        result = route_on_network(network, source, target, provider=provider)
+        assert result.outcome is RouteOutcome.SUCCESS
+
+
+def test_distributed_route_transmissions_bounded_by_twice_walk(provider, grid_network):
+    result = route_on_network(grid_network, 0, 15, provider=provider)
+    # Physical transmissions cannot exceed the forward walk plus the backtrack.
+    assert result.physical_hops <= 2 * result.sequence_length + 2
+
+
+def test_distributed_route_unknown_source_raises(provider, grid_network):
+    with pytest.raises(RoutingError):
+        route_on_network(grid_network, 999, 0, provider=provider)
+
+
+def test_distributed_route_single_node_network(provider):
+    network = build_graph_network(generators.path_graph(1))
+    result = route_on_network(network, 0, 0, provider=provider)
+    assert result.outcome is RouteOutcome.SUCCESS
+    assert result.physical_hops == 0
+
+
+def test_distributed_route_two_node_network(provider):
+    network = build_graph_network(generators.path_graph(2))
+    result = route_on_network(network, 0, 1, provider=provider)
+    assert result.outcome is RouteOutcome.SUCCESS
+    assert result.physical_hops >= 1

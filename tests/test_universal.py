@@ -1,0 +1,136 @@
+"""Tests for universal-exploration-sequence providers and certification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exploration import ExplicitSequence
+from repro.core.universal import (
+    CertifiedSequenceProvider,
+    RandomSequenceProvider,
+    certify_covers,
+    default_sequence_length,
+    exhaustive_cubic_graphs,
+    standard_certification_family,
+)
+from repro.errors import UniversalityCertificationError
+from repro.graphs import generators
+from repro.graphs.connectivity import is_connected
+
+
+def test_default_sequence_length_grows_polynomially():
+    assert default_sequence_length(1) >= 32
+    assert default_sequence_length(10) < default_sequence_length(20)
+    assert default_sequence_length(20) <= 6 * 20 * 20 * 5
+    assert default_sequence_length(64) >= 6 * 64 * 64
+
+
+def test_random_provider_is_deterministic_per_seed():
+    a = RandomSequenceProvider(seed=3).sequence_for(10)
+    b = RandomSequenceProvider(seed=3).sequence_for(10)
+    c = RandomSequenceProvider(seed=4).sequence_for(10)
+    assert a.offsets() == b.offsets()
+    assert a.offsets() != c.offsets()
+
+
+def test_random_provider_offsets_in_range(provider):
+    seq = provider.sequence_for(12)
+    assert set(seq.offsets()) <= {0, 1, 2}
+    assert len(seq) == default_sequence_length(12)
+
+
+def test_random_provider_caches_sequences():
+    p = RandomSequenceProvider(seed=5)
+    assert p.sequence_for(8) is p.sequence_for(8)
+
+
+def test_with_multiplier_lengthens_sequence():
+    p = RandomSequenceProvider(seed=5)
+    longer = p.with_multiplier(4)
+    assert len(longer.sequence_for(6)) == 4 * len(p.sequence_for(6))
+
+
+def test_provider_offset_and_length_helpers(provider):
+    n = 9
+    assert provider.length_for(n) == len(provider.sequence_for(n))
+    assert provider.offset(n, 0) == provider.sequence_for(n)[0]
+
+
+def test_exhaustive_cubic_graphs_small_counts():
+    graphs_1 = exhaustive_cubic_graphs(1)
+    assert all(g.num_vertices == 1 and g.is_regular(3) for g in graphs_1)
+    graphs_2 = exhaustive_cubic_graphs(2)
+    assert all(g.num_vertices == 2 and g.is_regular(3) for g in graphs_2)
+    assert all(is_connected(g) for g in graphs_2)
+    # Disconnected rotation maps exist on 2 vertices; the connected filter
+    # must remove some of them.
+    all_graphs_2 = exhaustive_cubic_graphs(2, connected_only=False)
+    assert len(all_graphs_2) > len(graphs_2)
+
+
+def test_certify_covers_passes_for_long_random_sequence(provider):
+    graphs = [generators.complete_graph(4), generators.prism_graph(3)]
+    report = certify_covers(provider.sequence_for(8), graphs, all_ports=True)
+    assert report.passed
+    assert report.graphs_checked == 2
+    assert report.starts_checked == sum(3 * g.num_vertices for g in graphs)
+
+
+def test_certify_covers_fails_for_trivial_sequence():
+    graphs = [generators.prism_graph(4)]
+    report = certify_covers(ExplicitSequence([0, 0]), graphs)
+    assert not report.passed
+    failure = report.failures[0]
+    assert failure.num_vertices == 8
+    assert failure.graph_index == 0
+
+
+def test_standard_certification_family_members_are_cubic_and_bounded():
+    family = standard_certification_family(12, seed=1)
+    assert family
+    for graph in family:
+        assert graph.is_regular(3)
+        assert graph.num_vertices <= 12
+        assert is_connected(graph)
+
+
+def test_standard_family_includes_relabelings():
+    family = standard_certification_family(8, seed=0, labelings_per_graph=2)
+    # With two labelings per structure there must be structures appearing twice
+    # with identical vertex counts.
+    sizes = [g.num_vertices for g in family]
+    assert any(sizes.count(size) >= 2 for size in set(sizes))
+
+
+def test_certified_provider_returns_certified_sequence(provider):
+    certified = CertifiedSequenceProvider(base=provider, exhaustive_up_to=2)
+    sequence = certified.sequence_for(6)
+    report = certified.certification_report(6)
+    assert report is not None and report.passed
+    assert len(sequence) >= default_sequence_length(6)
+    # Cached on second call.
+    assert certified.sequence_for(6) is sequence
+
+
+def test_certified_provider_raises_when_it_cannot_certify():
+    class StubbornlyShortProvider(RandomSequenceProvider):
+        def sequence_for(self, n):  # noqa: D102 - test stub
+            return ExplicitSequence([0, 0, 0])
+
+        def with_multiplier(self, multiplier):  # noqa: D102 - test stub
+            return self
+
+    certified = CertifiedSequenceProvider(
+        base=StubbornlyShortProvider(), exhaustive_up_to=2, max_doublings=2
+    )
+    with pytest.raises(UniversalityCertificationError):
+        certified.sequence_for(6)
+
+
+def test_certified_sequence_is_universal_for_all_tiny_graphs(provider):
+    """Exhaustive Definition 3 check: every labeled cubic graph on <= 3 vertices."""
+    certified = CertifiedSequenceProvider(base=provider, exhaustive_up_to=3)
+    sequence = certified.sequence_for(4)
+    graphs = exhaustive_cubic_graphs(2) + exhaustive_cubic_graphs(3)
+    report = certify_covers(sequence, graphs, all_starts=True, all_ports=True)
+    assert report.passed
