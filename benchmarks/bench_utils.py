@@ -15,6 +15,7 @@ import os
 from typing import Iterable, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.core.engine import PreparedNetwork, prepare
 from repro.core.universal import RandomSequenceProvider
 
 #: Output directory for the reproduction tables.
@@ -22,6 +23,20 @@ OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
 
 #: One shared provider across all benchmarks so sequence caches are reused.
 PROVIDER = RandomSequenceProvider(seed=2008)
+
+#: True when the harness runs in CI smoke mode (small instances, no timing
+#: assertions); set ``ENGINE_BENCH_SMOKE=1`` to enable.
+SMOKE = os.environ.get("ENGINE_BENCH_SMOKE", "") not in ("", "0")
+
+
+def prepared(network_or_graph) -> PreparedNetwork:
+    """Shared prepared routing engine for a benchmark graph.
+
+    Thin re-export of :func:`repro.core.engine.prepare` so every benchmark
+    module lands on the same per-graph cache (reduction, size tables, compiled
+    walk kernel) instead of re-deriving topology state per measurement.
+    """
+    return prepare(network_or_graph)
 
 
 def emit_table(

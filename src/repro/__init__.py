@@ -53,6 +53,7 @@ from repro.core import (
     ExplicitSequence,
     HybridResult,
     MemoryMeter,
+    PreparedNetwork,
     RandomSequenceProvider,
     RouteOutcome,
     RouteResult,
@@ -61,7 +62,9 @@ from repro.core import (
     count_nodes,
     covers_component,
     hybrid_route,
+    prepare,
     route,
+    route_many,
     route_on_network,
 )
 from repro.core.broadcast import broadcast_on_network
@@ -119,6 +122,9 @@ __all__ = [
     "RouteResult",
     "route",
     "route_on_network",
+    "route_many",
+    "PreparedNetwork",
+    "prepare",
     "BroadcastResult",
     "broadcast",
     "broadcast_on_network",

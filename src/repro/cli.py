@@ -18,6 +18,11 @@ can be exercised without writing any Python:
     Route the same random pairs with the guaranteed router and every baseline
     and print the comparison table (a miniature of experiment E3).
 
+``python -m repro route-many --family grid --size 144 --pairs 20``
+    Batch-route random pairs through the prepared engine
+    (:meth:`~repro.core.engine.PreparedNetwork.route_many`) and print per-pair
+    outcomes plus the aggregate throughput.
+
 All commands accept ``--seed`` for reproducibility and ``--dimension 3`` for
 unit-ball (3D) deployments.  Exit status is 0 on success, 2 on bad arguments.
 """
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.analysis.experiments import ScenarioSpec, build_scenario, pick_source_target_pairs
@@ -43,7 +49,7 @@ from repro.baselines.greedy_geo import greedy_geographic_route
 from repro.baselines.random_walk_routing import random_walk_route
 from repro.core.broadcast import broadcast
 from repro.core.counting import count_nodes
-from repro.core.routing import route
+from repro.core.engine import prepare
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -104,13 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_network_arguments(compare_parser)
     compare_parser.add_argument("--pairs", type=int, default=5, help="number of random source/target pairs")
 
+    route_many_parser = subparsers.add_parser(
+        "route-many", help="batch-route random pairs through the prepared engine"
+    )
+    _add_network_arguments(route_many_parser)
+    route_many_parser.add_argument(
+        "--pairs", type=int, default=20, help="number of random source/target pairs"
+    )
+
     return parser
 
 
 def _command_route(args: argparse.Namespace, out) -> int:
     network = build_scenario(_scenario_from_args(args))
-    result = route(
-        network.graph,
+    result = prepare(network.graph).route(
         args.source,
         args.target,
         namespace_size=network.namespace_size,
@@ -158,16 +171,45 @@ def _command_count(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_route_many(args: argparse.Namespace, out) -> int:
+    network = build_scenario(_scenario_from_args(args))
+    pairs = pick_source_target_pairs(network, args.pairs, seed=args.seed)
+    engine = prepare(network.graph)
+    started = time.perf_counter()
+    results = engine.route_many(pairs, namespace_size=network.namespace_size)
+    elapsed = time.perf_counter() - started
+    rows = [
+        [source, target, result.outcome.value, result.total_virtual_steps, result.physical_hops]
+        for (source, target), result in zip(pairs, results)
+    ]
+    print(
+        format_table(
+            ["source", "target", "outcome", "virtual steps", "physical hops"],
+            rows,
+            title=f"route_many: {len(pairs)} pairs on {args.family} (n={args.size})",
+        ),
+        file=out,
+    )
+    delivered = sum(1 for result in results if result.delivered)
+    rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"delivered {delivered}/{len(pairs)}; {elapsed:.3f}s total, {rate:.0f} routes/s",
+        file=out,
+    )
+    return 0
+
+
 def _command_compare(args: argparse.Namespace, out) -> int:
     network = build_scenario(_scenario_from_args(args))
     graph, deployment = network.graph, network.deployment
     pairs = pick_source_target_pairs(network, args.pairs, seed=args.seed)
+    engine = prepare(graph)
     observations = {"ues-route": [], "random-walk": [], "flooding": [], "dfs-token": []}
     if deployment is not None:
         observations["greedy"] = []
     for source, target in pairs:
         observations["ues-route"].append(
-            observation_from_route(graph, route(graph, source, target))
+            observation_from_route(graph, engine.route(source, target))
         )
         observations["random-walk"].append(
             observation_from_attempt(
@@ -219,6 +261,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "broadcast": _command_broadcast,
         "count": _command_count,
         "compare": _command_compare,
+        "route-many": _command_route_many,
     }
     try:
         return handlers[args.command](args, out)

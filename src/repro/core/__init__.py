@@ -10,6 +10,9 @@ The subpackage is organised to mirror the paper:
 * :mod:`repro.core.memory` — the O(log n) space accounting used by nodes and
   message headers;
 * :mod:`repro.core.routing` — Algorithm ``Route`` (Section 3, Theorem 1);
+* :mod:`repro.core.walk_kernel` / :mod:`repro.core.engine` — the flat-array
+  walk kernel and the prepared per-graph engine (cached reduction, size
+  tables, ``route_many`` batch API) every entry point routes through;
 * :mod:`repro.core.broadcast` — broadcasting along the exploration walk;
 * :mod:`repro.core.counting` — Algorithm ``CountNodes`` (Section 4);
 * :mod:`repro.core.hybrid` — the Corollary 2 combiner that runs a fast
@@ -44,6 +47,8 @@ from repro.core.routing import (
 )
 from repro.core.broadcast import BroadcastResult, broadcast
 from repro.core.counting import CountingResult, count_nodes
+from repro.core.engine import PreparedNetwork, prepare, route_many
+from repro.core.walk_kernel import CompiledWalk
 from repro.core.hybrid import HybridResult, hybrid_route
 from repro.core.stconnectivity import ConnectivityAnswer, exploration_connectivity
 from repro.core.adversary import (
@@ -75,6 +80,10 @@ __all__ = [
     "RoutingHeader",
     "route",
     "route_on_network",
+    "route_many",
+    "PreparedNetwork",
+    "prepare",
+    "CompiledWalk",
     "BroadcastResult",
     "broadcast",
     "CountingResult",

@@ -16,18 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
-from repro.core.exploration import WalkState, step_backward, step_forward
+from repro.core.engine import prepare
 from repro.core.routing import (
     Direction,
     RouteOutcome,
     _DEFAULT_PROVIDER,
     _header_bits,
-    _resolve_size_bound,
 )
 from repro.core.universal import SequenceProvider
 from repro.errors import RoutingError
-from repro.graphs.connectivity import connected_component
-from repro.graphs.degree_reduction import EXTERNAL_PORT, reduce_to_three_regular
+from repro.graphs.degree_reduction import EXTERNAL_PORT
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.network.adhoc import AdHocNetwork
 from repro.network.message import Header, Message
@@ -73,36 +71,23 @@ def broadcast(
     component size, which the default provider achieves with overwhelming
     probability and a certified provider achieves by construction).
     """
-    if not graph.has_vertex(source):
-        raise RoutingError(f"source {source!r} is not a vertex of the graph")
+    engine = prepare(graph)
     provider = provider if provider is not None else _DEFAULT_PROVIDER
-    reduction = reduce_to_three_regular(graph)
-    reduced = reduction.graph
-    bound = _resolve_size_bound(reduction, source, size_bound)
-    sequence = provider.sequence_for(bound)
     namespace = namespace_size if namespace_size is not None else max(1, graph.num_vertices)
-
-    state = WalkState(vertex=reduction.gateway(source), entry_port=start_port)
-    reached: Set[int] = {source}
-    physical_hops = 0
-    for index in range(len(sequence)):
-        next_state = step_forward(reduced, state, sequence[index])
-        if reduction.to_original(next_state.vertex) != reduction.to_original(state.vertex):
-            physical_hops += 1
-        state = next_state
-        reached.add(reduction.to_original(state.vertex))
-
-    component = connected_component(graph, source)
+    bound, length, reached, physical_hops = engine.broadcast_walk(
+        source, provider=provider, size_bound=size_bound, start_port=start_port
+    )
+    component = engine.original_component(source)
     return BroadcastResult(
         source=source,
-        reached=frozenset(reached),
+        reached=reached,
         component_size=len(component),
         covered_component=component <= reached,
-        virtual_steps=len(sequence),
+        virtual_steps=length,
         physical_hops=physical_hops,
-        sequence_length=len(sequence),
+        sequence_length=length,
         size_bound=bound,
-        header_bits=_header_bits(namespace, len(sequence)),
+        header_bits=_header_bits(namespace, length),
     )
 
 
@@ -128,9 +113,14 @@ class BroadcastProtocol(Protocol):
         self._source = source
         self._payload = payload
         self._provider = provider if provider is not None else _DEFAULT_PROVIDER
-        self._reduction = reduce_to_three_regular(network.graph)
-        self._bound = _resolve_size_bound(self._reduction, source, size_bound)
-        self._sequence = self._provider.sequence_for(self._bound)
+        self._engine = prepare(network.graph)
+        self._reduction = self._engine.reduction
+        self._kernel = self._engine.kernel
+        self._bound = self._engine.resolve_size_bound(source, size_bound)
+        self._offsets = self._engine.offsets_for(self._bound, self._provider)
+        # The raw offsets ARE the sequence; the alias keeps the historical
+        # attribute that callers size simulation budgets from.
+        self._sequence = self._offsets
         self._name_bits = network.name_bits
         self._index_bits = max(1, len(self._sequence).bit_length())
         self.reached: Set[int] = set()
@@ -161,57 +151,60 @@ class BroadcastProtocol(Protocol):
             ctx.deliver(self._payload, note="broadcast payload")
         self.reached.add(ctx.node_id)
 
-    def _process(self, ctx: NodeContext, state: WalkState, index: int, direction: Direction) -> None:
-        reduced = self._reduction.graph
-        sequence = self._sequence
+    def _process(self, ctx: NodeContext, vertex: int, entry_port: int, index: int, direction: Direction) -> None:
+        kernel = self._kernel
+        next_vertex = kernel.next_vertex
+        next_port = kernel.next_port
+        owner_of = kernel.owner
+        physical_port_of = kernel.physical_port
+        sequence = self._offsets
         length = len(sequence)
         while True:
-            owner = self._reduction.to_original(state.vertex)
+            owner = owner_of[vertex]
             if direction is Direction.FORWARD:
                 self._deliver_once(ctx)
                 if index >= length:
                     direction = Direction.BACK
                     continue
-                offset = sequence[index]
-                next_state = step_forward(reduced, state, offset)
+                edge = 3 * vertex + (entry_port + sequence[index]) % 3
                 index += 1
-                if self._reduction.to_original(next_state.vertex) != owner:
-                    physical_port = self._physical_port_of(owner, state.vertex)
-                    ctx.send(physical_port, self._make_message(direction, index))
+                next_v = next_vertex[edge]
+                if owner_of[next_v] != owner:
+                    ctx.send(physical_port_of[vertex], self._make_message(direction, index))
                     return
-                state = next_state
+                entry_port = next_port[edge]
+                vertex = next_v
             else:
                 if owner == self._source or index == 0:
                     ctx.finish(RouteOutcome.SUCCESS)
                     return
                 offset = sequence[index - 1]
-                previous_state = step_backward(reduced, state, offset)
+                edge = 3 * vertex + entry_port
                 index -= 1
-                if self._reduction.to_original(previous_state.vertex) != owner:
-                    physical_port = self._physical_port_of(owner, state.vertex)
-                    ctx.send(physical_port, self._make_message(direction, index))
+                previous_v = next_vertex[edge]
+                if owner_of[previous_v] != owner:
+                    ctx.send(physical_port_of[vertex], self._make_message(direction, index))
                     return
-                state = previous_state
+                entry_port = (next_port[edge] - offset) % 3
+                vertex = previous_v
 
     def _physical_port_of(self, owner: int, virtual_vertex: int) -> int:
-        cluster = self._reduction.cluster(owner)
-        return 0 if len(cluster) == 1 else cluster.index(virtual_vertex)
+        return self._kernel.physical_port[virtual_vertex]
 
     def on_start(self, ctx: NodeContext) -> None:
-        state = WalkState(vertex=self._reduction.gateway(self._source), entry_port=0)
-        self._process(ctx, state, index=0, direction=Direction.FORWARD)
+        self._process(
+            ctx, self._kernel.gateway(self._source), 0, index=0, direction=Direction.FORWARD
+        )
 
     def on_message(self, ctx: NodeContext, in_port: int, message: Message) -> None:
         direction = Direction.FORWARD if message.header.get("direction") == 0 else Direction.BACK
         index = int(message.header.get("index"))
         virtual = self._reduction.carrier(ctx.node_id, in_port)
         if direction is Direction.FORWARD:
-            state = WalkState(vertex=virtual, entry_port=EXTERNAL_PORT)
+            entry_port = EXTERNAL_PORT
         else:
-            offset = self._sequence[index]
-            degree = self._reduction.graph.degree(virtual)
-            state = WalkState(vertex=virtual, entry_port=(EXTERNAL_PORT - offset) % degree)
-        self._process(ctx, state, index, direction)
+            entry_port = (EXTERNAL_PORT - self._offsets[index]) % 3
+        self._process(ctx, virtual, entry_port, index, direction)
 
 
 def broadcast_on_network(
@@ -233,7 +226,7 @@ def broadcast_on_network(
     result = simulator.run(protocol, initiators=[source], max_events=budget)
     if result.result_at(source) is None:
         raise RoutingError("the source never learned that the broadcast completed")
-    component = connected_component(network.graph, source)
+    component = protocol._engine.original_component(source)
     reached = frozenset(protocol.reached)
     return BroadcastResult(
         source=source,

@@ -24,14 +24,12 @@ Two execution modes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Optional, Set
 
-from repro.core.exploration import WalkState, step_forward
+from repro.core.engine import prepare
 from repro.core.routing import _DEFAULT_PROVIDER
 from repro.core.universal import SequenceProvider
 from repro.errors import RoutingError
-from repro.graphs.connectivity import connected_component
-from repro.graphs.degree_reduction import reduce_to_three_regular
 from repro.graphs.labeled_graph import LabeledGraph
 
 __all__ = ["CountingResult", "count_nodes"]
@@ -57,18 +55,6 @@ class CountingResult:
     def count(self) -> int:
         """The value the algorithm returns: |C_s| in the reduced graph."""
         return self.virtual_count
-
-
-def _walk_trajectory(
-    reduced: LabeledGraph, start: int, start_port: int, sequence
-) -> List[WalkState]:
-    """States of the whole walk (start state first)."""
-    states = [WalkState(vertex=start, entry_port=start_port)]
-    state = states[0]
-    for index in range(len(sequence)):
-        state = step_forward(reduced, state, sequence[index])
-        states.append(state)
-    return states
 
 
 def count_nodes(
@@ -101,9 +87,9 @@ def count_nodes(
     if not graph.has_vertex(source):
         raise RoutingError(f"source {source!r} is not a vertex of the graph")
     provider = provider if provider is not None else _DEFAULT_PROVIDER
-    reduction = reduce_to_three_regular(graph)
-    reduced = reduction.graph
-    gateway = reduction.gateway(source)
+    engine = prepare(graph)
+    kernel = engine.kernel
+    gateway = kernel.gateway(source)
 
     walk_steps = 0
     retrieve_calls = 0
@@ -120,17 +106,16 @@ def count_nodes(
             )
         rounds += 1
         bound = 2 ** exponent
-        sequence = provider.sequence_for(bound)
-        trajectory = _walk_trajectory(reduced, gateway, start_port, sequence)
+        sequence = engine.offsets_for(bound, provider)
+        visited_list = kernel.walk_vertices(gateway, start_port, sequence)
         walk_steps += len(sequence)
-        visited_list = [state.vertex for state in trajectory]
         visited_set: Set[int] = set(visited_list)
 
         new_node_discovered = False
         for i, vertex in enumerate(visited_list):
-            for port in range(reduced.degree(vertex)):
+            for port in range(3):
                 neighbor_retrieve_calls += 1
-                neighbor = reduced.neighbor(vertex, port)
+                neighbor = kernel.neighbor(vertex, port)
                 if faithful:
                     # The paper compares the neighbour against every visited
                     # vertex, re-deriving each by replaying the walk.
@@ -169,8 +154,9 @@ def count_nodes(
     else:
         node_count = len(visited_set)
 
-    original_count = len({reduction.to_original(v) for v in visited_set})
-    true_component = connected_component(reduced, gateway)
+    owner = kernel.owner
+    original_count = len({owner[v] for v in visited_set})
+    true_component_size = kernel.component_size(gateway)
     return CountingResult(
         source=source,
         virtual_count=node_count,
@@ -182,5 +168,5 @@ def count_nodes(
         walk_steps=walk_steps,
         retrieve_calls=retrieve_calls,
         neighbor_retrieve_calls=neighbor_retrieve_calls,
-        correct=node_count == len(true_component),
+        correct=node_count == true_component_size,
     )

@@ -1,0 +1,411 @@
+"""Prepared routing engine — amortise all topology-derived state across calls.
+
+Every entry point of the seed code base (:func:`repro.core.routing.route`,
+:func:`repro.core.routing.route_on_network`, counting, broadcasting, the
+baselines and the CLI) used to recompute the same three things on every call:
+the Fig. 1 degree reduction, the size of the source's reduced component, and a
+dict-of-tuples walk over the reduced rotation map.  For a workload that routes
+many messages over one static network — the paper's whole setting — that work
+is pure overhead: the topology never changes between calls.
+
+:class:`PreparedNetwork` computes all of it **once per graph**:
+
+* the degree reduction (shared, immutable);
+* the flat-array walk kernel (:class:`repro.core.walk_kernel.CompiledWalk`)
+  that turns each walk step into two list indexes;
+* the per-component size table that makes the ``CountNodes`` bound an O(1)
+  lookup;
+* a per-(provider, bound) cache of raw offset tuples so the exploration
+  sequence is materialised exactly once.
+
+It then serves unlimited :meth:`route` calls and the batch API
+:meth:`route_many` against that shared state.  :func:`prepare` maintains a
+small keyed cache so independent call sites (routing, counting, broadcast,
+the distributed protocols, benchmarks) all land on the same engine for the
+same graph object.
+
+Results are bit-for-bit identical to the seed walkers: the kernel encodes the
+same rotation map, the step rule is unchanged, and the header accounting uses
+the same formulas.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.routing import (
+    RouteOutcome,
+    RouteResult,
+    _header_bits,
+    default_provider,
+)
+from repro.core.universal import SequenceProvider
+from repro.core.walk_kernel import CompiledWalk
+from repro.errors import RoutingError
+from repro.graphs.degree_reduction import DegreeReducedGraph, reduce_to_three_regular
+from repro.graphs.labeled_graph import LabeledGraph
+
+__all__ = ["PreparedNetwork", "prepare", "route_many"]
+
+#: Per-engine bound on cached (provider, bound) offset tuples; CountNodes'
+#: doubling loop needs ~log2(n) live bounds per provider, so 32 is generous.
+_OFFSETS_CACHE_LIMIT = 32
+
+
+class PreparedNetwork:
+    """All per-graph routing state, computed once and shared by every call.
+
+    Parameters
+    ----------
+    graph:
+        The physical network graph.  It is reduced to 3-regular form and
+        compiled into the array kernel immediately.
+    default_provider:
+        Exploration-sequence provider used when a call does not pass one
+        (defaults to the library-wide shared provider).
+    namespace_size:
+        Default namespace for header-size accounting; ``None`` means the
+        number of vertices, matching :func:`repro.core.routing.route`.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        default_provider_: Optional[SequenceProvider] = None,
+        namespace_size: Optional[int] = None,
+    ) -> None:
+        self._graph = graph
+        self._default_provider = (
+            default_provider_ if default_provider_ is not None else default_provider()
+        )
+        self._namespace = (
+            namespace_size if namespace_size is not None else max(1, graph.num_vertices)
+        )
+        self._reduction = reduce_to_three_regular(graph)
+        self._kernel = CompiledWalk(self._reduction)
+        #: (id(provider), bound) -> (provider, offsets); the provider is kept
+        #: so its id cannot be recycled while the entry lives.  LRU-bounded so
+        #: sweeps that create a fresh provider per trial cannot pin an
+        #: unbounded pile of providers and offset tuples on a cached engine.
+        self._offsets_cache: "OrderedDict[Tuple[int, int], Tuple[SequenceProvider, Tuple[int, ...]]]" = OrderedDict()
+        self._original_components: Optional[Dict[int, FrozenSet[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Shared state accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> LabeledGraph:
+        """The physical graph this engine was prepared for."""
+        return self._graph
+
+    @property
+    def reduction(self) -> DegreeReducedGraph:
+        """The cached Fig. 1 degree reduction."""
+        return self._reduction
+
+    @property
+    def kernel(self) -> CompiledWalk:
+        """The flat-array walk kernel over the reduced graph."""
+        return self._kernel
+
+    def resolve_size_bound(self, source: int, size_bound: Optional[int] = None) -> int:
+        """Bound on the reduced component size used to pick ``T_n``.
+
+        When the caller does not supply one, the true size of the source's
+        reduced component — the quantity Algorithm ``CountNodes`` (Section 4)
+        discovers — is read from the precomputed component table in O(1).
+        """
+        if size_bound is not None:
+            if size_bound < 1:
+                raise RoutingError("size_bound must be positive")
+            return size_bound
+        return self._kernel.component_size(self._kernel.gateway(source))
+
+    def offsets_for(
+        self, bound: int, provider: Optional[SequenceProvider] = None
+    ) -> Sequence[int]:
+        """Raw offset tuple of ``T_bound``, materialised once per provider."""
+        provider = provider if provider is not None else self._default_provider
+        key = (id(provider), bound)
+        entry = self._offsets_cache.get(key)
+        if entry is not None:
+            self._offsets_cache.move_to_end(key)
+            return entry[1]
+        sequence = provider.sequence_for(bound)
+        raw = getattr(sequence, "offsets", None)
+        offsets = raw() if callable(raw) else tuple(
+            sequence[i] for i in range(len(sequence))
+        )
+        self._offsets_cache[key] = (provider, offsets)
+        while len(self._offsets_cache) > _OFFSETS_CACHE_LIMIT:
+            self._offsets_cache.popitem(last=False)
+        return offsets
+
+    def original_component(self, vertex: int) -> FrozenSet[int]:
+        """Connected component of ``vertex`` in the *original* graph (cached)."""
+        if self._original_components is None:
+            components: Dict[int, FrozenSet[int]] = {}
+            graph = self._graph
+            seen = set()
+            for start in graph.vertices:
+                if start in seen:
+                    continue
+                stack = [start]
+                members = {start}
+                while stack:
+                    v = stack.pop()
+                    for port in range(graph.degree(v)):
+                        w, _ = graph.rotation(v, port)
+                        if w not in members:
+                            members.add(w)
+                            stack.append(w)
+                frozen = frozenset(members)
+                seen |= members
+                for member in members:
+                    components[member] = frozen
+            self._original_components = components
+        return self._original_components[vertex]
+
+    def _require_source(self, source: int) -> None:
+        if not self._graph.has_vertex(source):
+            raise RoutingError(f"source {source!r} is not a vertex of the graph")
+
+    # ------------------------------------------------------------------ #
+    # Routing (the hot path)
+    # ------------------------------------------------------------------ #
+
+    def route(
+        self,
+        source: int,
+        target: int,
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+        start_port: int = 0,
+        namespace_size: Optional[int] = None,
+    ) -> RouteResult:
+        """Run Algorithm ``Route`` against the prepared state.
+
+        Same contract and same results as :func:`repro.core.routing.route`
+        (which is now a thin wrapper over this method); only the constant
+        factor differs.
+        """
+        self._require_source(source)
+        kernel = self._kernel
+        gateway = kernel.gateway(source)
+        bound = self.resolve_size_bound(source, size_bound)
+        offsets = self.offsets_for(bound, provider)
+        length = len(offsets)
+        namespace = namespace_size if namespace_size is not None else self._namespace
+
+        next_vertex = kernel.next_vertex
+        next_port = kernel.next_port
+        owner = kernel.owner
+
+        vertex, entry = gateway, start_port
+        index = 0
+        forward_steps = 0
+        physical_hops = 0
+        target_found_at: Optional[int] = None
+
+        # Forward phase: follow the sequence until the target is met or the
+        # sequence is exhausted (step rule identical to the seed walker).
+        while True:
+            current_owner = owner[vertex]
+            if current_owner == target:
+                outcome = RouteOutcome.SUCCESS
+                target_found_at = forward_steps
+                break
+            if index >= length:
+                outcome = RouteOutcome.FAILURE
+                break
+            edge = 3 * vertex + (entry + offsets[index]) % 3
+            vertex = next_vertex[edge]
+            entry = next_port[edge]
+            index += 1
+            forward_steps += 1
+            if owner[vertex] != current_owner:
+                physical_hops += 1
+
+        # Backward phase: retrace the walk (reversibility, Section 2) until a
+        # virtual node of the source is reached, carrying the status.
+        backward_steps = 0
+        while owner[vertex] != source and index > 0:
+            edge = 3 * vertex + entry
+            previous_vertex = next_vertex[edge]
+            entry = (next_port[edge] - offsets[index - 1]) % 3
+            index -= 1
+            backward_steps += 1
+            if owner[previous_vertex] != owner[vertex]:
+                physical_hops += 1
+            vertex = previous_vertex
+        if owner[vertex] != source:
+            raise RoutingError("backtracking failed to return to the source")
+
+        return RouteResult(
+            outcome=outcome,
+            delivered=outcome is RouteOutcome.SUCCESS,
+            source=source,
+            target=target,
+            size_bound=bound,
+            sequence_length=length,
+            forward_virtual_steps=forward_steps,
+            backward_virtual_steps=backward_steps,
+            physical_hops=physical_hops,
+            target_found_at_step=target_found_at,
+            header_bits=_header_bits(namespace, length),
+        )
+
+    def route_many(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+        start_port: int = 0,
+        namespace_size: Optional[int] = None,
+    ) -> List[RouteResult]:
+        """Route every ``(source, target)`` pair against the shared state.
+
+        This is the batch API the repeated-route workloads should use: one
+        engine build, then a plain loop over the compiled walk kernel.
+        """
+        return [
+            self.route(
+                source,
+                target,
+                provider=provider,
+                size_bound=size_bound,
+                start_port=start_port,
+                namespace_size=namespace_size,
+            )
+            for source, target in pairs
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Walks shared with the sibling algorithms
+    # ------------------------------------------------------------------ #
+
+    def broadcast_walk(
+        self,
+        source: int,
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+        start_port: int = 0,
+    ) -> Tuple[int, int, FrozenSet[int], int]:
+        """Forward broadcast walk; returns ``(bound, length, reached, hops)``.
+
+        ``reached`` is the set of original vertices visited, ``hops`` the
+        number of cluster-leaving (physical) steps — exactly the quantities
+        :func:`repro.core.broadcast.broadcast` reports.
+        """
+        self._require_source(source)
+        kernel = self._kernel
+        bound = self.resolve_size_bound(source, size_bound)
+        offsets = self.offsets_for(bound, provider)
+        next_vertex = kernel.next_vertex
+        next_port = kernel.next_port
+        owner = kernel.owner
+
+        vertex, entry = kernel.gateway(source), start_port
+        reached = {source}
+        add = reached.add
+        physical_hops = 0
+        for offset in offsets:
+            edge = 3 * vertex + (entry + offset) % 3
+            nxt = next_vertex[edge]
+            if owner[nxt] != owner[vertex]:
+                physical_hops += 1
+            entry = next_port[edge]
+            vertex = nxt
+            add(owner[vertex])
+        return bound, len(offsets), frozenset(reached), physical_hops
+
+    def connectivity_walk(
+        self,
+        source: int,
+        target: int,
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+        start_port: int = 0,
+    ) -> Tuple[bool, int, int, int]:
+        """Forward phase only; returns ``(connected, steps, length, bound)``."""
+        self._require_source(source)
+        kernel = self._kernel
+        gateway = kernel.gateway(source)
+        bound = self.resolve_size_bound(source, size_bound)
+        offsets = self.offsets_for(bound, provider)
+        next_vertex = kernel.next_vertex
+        next_port = kernel.next_port
+        owner = kernel.owner
+
+        vertex, entry = gateway, start_port
+        if owner[vertex] == target:
+            return True, 0, len(offsets), bound
+        steps = 0
+        for offset in offsets:
+            edge = 3 * vertex + (entry + offset) % 3
+            vertex = next_vertex[edge]
+            entry = next_port[edge]
+            steps += 1
+            if owner[vertex] == target:
+                return True, steps, len(offsets), bound
+        return False, steps, len(offsets), bound
+
+
+# ---------------------------------------------------------------------- #
+# Shared engine cache
+# ---------------------------------------------------------------------- #
+
+#: Engines keyed by ``id(graph)``.  Entries hold the graph strongly, so an id
+#: can never be recycled while its entry is alive; the bound keeps long
+#: many-graph runs (sweeps, hypothesis tests) from accumulating state.
+_ENGINE_CACHE: "OrderedDict[int, PreparedNetwork]" = OrderedDict()
+_ENGINE_CACHE_LIMIT = 64
+
+
+def prepare(network_or_graph: object) -> PreparedNetwork:
+    """Return the shared :class:`PreparedNetwork` for a graph (built on demand).
+
+    Accepts either a :class:`~repro.graphs.labeled_graph.LabeledGraph` or
+    anything carrying one as a ``graph`` attribute (e.g.
+    :class:`~repro.network.adhoc.AdHocNetwork`).  Graphs are immutable, so the
+    cache key is object identity; repeated calls for the same graph are O(1).
+    """
+    if isinstance(network_or_graph, LabeledGraph):
+        graph = network_or_graph
+    else:
+        graph = getattr(network_or_graph, "graph", None)
+        if not isinstance(graph, LabeledGraph):
+            raise RoutingError(
+                f"cannot prepare {network_or_graph!r}: expected a LabeledGraph "
+                "or an object with a .graph attribute"
+            )
+    key = id(graph)
+    engine = _ENGINE_CACHE.get(key)
+    if engine is not None and engine.graph is graph:
+        _ENGINE_CACHE.move_to_end(key)
+        return engine
+    engine = PreparedNetwork(graph)
+    _ENGINE_CACHE[key] = engine
+    while len(_ENGINE_CACHE) > _ENGINE_CACHE_LIMIT:
+        _ENGINE_CACHE.popitem(last=False)
+    return engine
+
+
+def route_many(
+    graph: LabeledGraph,
+    pairs: Iterable[Tuple[int, int]],
+    provider: Optional[SequenceProvider] = None,
+    size_bound: Optional[int] = None,
+    start_port: int = 0,
+    namespace_size: Optional[int] = None,
+) -> List[RouteResult]:
+    """Batch-route ``pairs`` on ``graph`` through the shared prepared engine."""
+    return prepare(graph).route_many(
+        pairs,
+        provider=provider,
+        size_bound=size_bound,
+        start_port=start_port,
+        namespace_size=namespace_size,
+    )

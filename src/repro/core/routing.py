@@ -6,13 +6,13 @@ version of the network.  The message header carries only
 
     ``(s, t, dir, status, i)``
 
-— the two endpoint names, one direction bit, one status bit and the current
-index into the exploration sequence — i.e. ``O(log n)`` bits.  Intermediate
-nodes store nothing.  If the target lies in the source's connected component
-the walk is guaranteed to reach it; otherwise the walk runs out of sequence
-and, thanks to the reversibility of exploration sequences, backtracks to the
-source carrying a *failure* confirmation.  Either way the source learns the
-outcome.
+— the two endpoint names, one direction bit, a two-bit status field (none /
+success / failure) and the current index into the exploration sequence — i.e.
+``O(log n)`` bits.  Intermediate nodes store nothing.  If the target lies in
+the source's connected component the walk is guaranteed to reach it; otherwise
+the walk runs out of sequence and, thanks to the reversibility of exploration
+sequences, backtracks to the source carrying a *failure* confirmation.  Either
+way the source learns the outcome.
 
 Two interchangeable realisations are provided:
 
@@ -23,6 +23,11 @@ Two interchangeable realisations are provided:
   simulates its virtual (degree-reduction) nodes, all transient state travels
   in the message header, and every physical transmission is simulated and
   accounted.
+
+Both realisations run on the prepared engine of :mod:`repro.core.engine`: the
+degree reduction, the component size tables and the flat-array walk kernel are
+computed once per graph and shared across calls, so repeated routes on the
+same network pay only for the walk itself.
 """
 
 from __future__ import annotations
@@ -31,17 +36,15 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.exploration import ExplorationSequence, WalkState, step_backward, step_forward
 from repro.core.memory import bits_for_namespace
 from repro.core.universal import RandomSequenceProvider, SequenceProvider
 from repro.errors import RoutingError
-from repro.graphs.connectivity import connected_component
-from repro.graphs.degree_reduction import EXTERNAL_PORT, DegreeReducedGraph, reduce_to_three_regular
+from repro.graphs.degree_reduction import EXTERNAL_PORT
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.network.adhoc import AdHocNetwork
 from repro.network.message import Header, Message
 from repro.network.node import NodeContext
-from repro.network.simulator import Protocol, SimulationResult, Simulator
+from repro.network.simulator import Protocol, SimulationResult
 
 __all__ = [
     "Direction",
@@ -80,6 +83,11 @@ class RouteOutcome(enum.Enum):
 @dataclass(frozen=True)
 class RoutingHeader:
     """The paper's message header ``(s, t, dir, status, i)`` plus the size bound.
+
+    ``status`` is a three-valued field (none / success / failure) and
+    therefore occupies **two** bits in :meth:`bit_widths`; the paper's prose
+    calls it the confirmation bit because only the success/failure distinction
+    travels back to the source.
 
     ``size_bound`` is the bound ``n`` on the number of vertices of the reduced
     connected component that selects which sequence ``T_n`` the nodes follow.
@@ -142,24 +150,6 @@ class RouteResult:
         return True
 
 
-def _resolve_size_bound(
-    reduction: DegreeReducedGraph, source: int, size_bound: Optional[int]
-) -> int:
-    """Bound on the reduced component size used to pick ``T_n``.
-
-    When the caller does not supply one we use the true size of the source's
-    component in the reduced graph — exactly the quantity Algorithm
-    ``CountNodes`` (Section 4) computes without global knowledge; see
-    :func:`repro.core.counting.count_nodes`.
-    """
-    if size_bound is not None:
-        if size_bound < 1:
-            raise RoutingError("size_bound must be positive")
-        return size_bound
-    gateway = reduction.gateway(source)
-    return len(connected_component(reduction.graph, gateway))
-
-
 def _header_bits(namespace_size: int, sequence_length: int) -> int:
     """Total header size in bits for a given namespace and sequence length."""
     name_bits = bits_for_namespace(namespace_size)
@@ -203,68 +193,18 @@ def route(
         Only used for header-size accounting; defaults to the number of
         vertices.
     """
-    if not graph.has_vertex(source):
-        raise RoutingError(f"source {source!r} is not a vertex of the graph")
-    provider = provider if provider is not None else _DEFAULT_PROVIDER
-    reduction = reduce_to_three_regular(graph)
-    reduced = reduction.graph
-    bound = _resolve_size_bound(reduction, source, size_bound)
-    sequence = provider.sequence_for(bound)
-    length = len(sequence)
-    namespace = namespace_size if namespace_size is not None else max(1, graph.num_vertices)
+    # The engine caches the reduction, size tables and compiled walk kernel
+    # per graph, so repeated calls only pay for the walk itself.  Imported
+    # lazily because the engine module imports this one for the result types.
+    from repro.core.engine import prepare
 
-    state = WalkState(vertex=reduction.gateway(source), entry_port=start_port)
-    index = 0
-    forward_steps = 0
-    physical_hops = 0
-    target_found_at: Optional[int] = None
-    outcome: Optional[RouteOutcome] = None
-
-    # Forward phase: follow the sequence until the target is met or the
-    # sequence is exhausted.
-    while True:
-        if reduction.to_original(state.vertex) == target:
-            outcome = RouteOutcome.SUCCESS
-            target_found_at = forward_steps
-            break
-        if index >= length:
-            outcome = RouteOutcome.FAILURE
-            break
-        next_state = step_forward(reduced, state, sequence[index])
-        index += 1
-        forward_steps += 1
-        if reduction.to_original(next_state.vertex) != reduction.to_original(state.vertex):
-            physical_hops += 1
-        state = next_state
-
-    # Backward phase: retrace the walk (reversibility, Section 2) until a
-    # virtual node of the source is reached, carrying the status.
-    backward_steps = 0
-    while reduction.to_original(state.vertex) != source and index > 0:
-        previous_state = step_backward(reduced, state, sequence[index - 1])
-        index -= 1
-        backward_steps += 1
-        if reduction.to_original(previous_state.vertex) != reduction.to_original(state.vertex):
-            physical_hops += 1
-        state = previous_state
-    if reduction.to_original(state.vertex) != source:
-        # The walk started at the source, so index == 0 implies we are back at
-        # the start state; reaching this line would mean the reversibility
-        # invariant was violated.
-        raise RoutingError("backtracking failed to return to the source")
-
-    return RouteResult(
-        outcome=outcome,
-        delivered=outcome is RouteOutcome.SUCCESS,
-        source=source,
-        target=target,
-        size_bound=bound,
-        sequence_length=length,
-        forward_virtual_steps=forward_steps,
-        backward_virtual_steps=backward_steps,
-        physical_hops=physical_hops,
-        target_found_at_step=target_found_at,
-        header_bits=_header_bits(namespace, length),
+    return prepare(graph).route(
+        source,
+        target,
+        provider=provider,
+        size_bound=size_bound,
+        start_port=start_port,
+        namespace_size=namespace_size,
     )
 
 
@@ -294,24 +234,52 @@ class RouteProtocol(Protocol):
         provider: Optional[SequenceProvider] = None,
         size_bound: Optional[int] = None,
         payload: object = None,
+        engine: Optional[object] = None,
     ) -> None:
+        from repro.core.engine import PreparedNetwork, prepare
+
         self._network = network
         self._source = source
         self._target = target
         self._payload = payload
         self._provider = provider if provider is not None else _DEFAULT_PROVIDER
-        # The reduction is computed once and shared, but handlers only ever
-        # consult the slice of it describing their own node (cluster members,
-        # their rotation entries and the carrier lookup); that slice is
-        # locally computable from the node's own degree, so the locality
-        # discipline of the model is respected.
-        self._reduction = reduce_to_three_regular(network.graph)
-        self._bound = _resolve_size_bound(self._reduction, source, size_bound)
-        self._sequence = self._provider.sequence_for(self._bound)
+        # The prepared engine is computed once per graph and shared, but
+        # handlers only ever consult the slice of it describing their own node
+        # (cluster members, their rotation entries and the carrier lookup);
+        # that slice is locally computable from the node's own degree, so the
+        # locality discipline of the model is respected.
+        if engine is not None:
+            if not isinstance(engine, PreparedNetwork):
+                raise RoutingError("engine must be a PreparedNetwork")
+            if engine.graph is not network.graph:
+                raise RoutingError(
+                    "engine was prepared for a different graph than this network's"
+                )
+        self._engine = engine if engine is not None else prepare(network.graph)
+        self._reduction = self._engine.reduction
+        self._kernel = self._engine.kernel
+        self._bound = self._engine.resolve_size_bound(source, size_bound)
+        self._offsets = self._engine.offsets_for(self._bound, self._provider)
+        # The raw offsets ARE the sequence; the alias keeps the historical
+        # attribute that callers size simulation budgets from.
+        self._sequence = self._offsets
         self._name_bits = network.name_bits
         self._index_bits = max(1, len(self._sequence).bit_length())
+        # An unknown target has no universal name; the header carries the
+        # all-ones in-namespace sentinel instead so the message stays
+        # well-formed and the walk fails gracefully (the outcome comparison
+        # uses node ids held by the protocol, never this field).
+        self._target_name = (
+            network.name_of(target)
+            if target in network.names
+            else (1 << self._name_bits) - 1
+        )
         self.delivered_at_target = False
         self.target_found_at_step: Optional[int] = None
+        #: Real walk-step counters, mirrored from the centralised walker so
+        #: ``route_on_network`` reports the same virtual-step accounting.
+        self.forward_steps = 0
+        self.backward_steps = 0
 
     # -- header helpers -------------------------------------------------- #
 
@@ -332,9 +300,7 @@ class RouteProtocol(Protocol):
             self._widths(),
             {
                 "source": self._network.name_of(self._source),
-                "target": self._network.name_of(self._target)
-                if self._target in self._network.names
-                else self._target,
+                "target": self._target_name,
                 "direction": 0 if direction is Direction.FORWARD else 1,
                 "status": {None: 0, RouteOutcome.SUCCESS: 1, RouteOutcome.FAILURE: 2}[status],
                 "index": index,
@@ -355,18 +321,27 @@ class RouteProtocol(Protocol):
     def _process(
         self,
         ctx: NodeContext,
-        state: WalkState,
+        vertex: int,
+        entry_port: int,
         index: int,
         direction: Direction,
         status: Optional[RouteOutcome],
     ) -> None:
-        """Advance the walk locally until it leaves this node or terminates."""
-        reduced = self._reduction.graph
-        sequence = self._sequence
+        """Advance the walk locally until it leaves this node or terminates.
+
+        The walk runs on the engine's compiled arrays: ``(vertex, entry_port)``
+        are plain ints and each step is two list indexes, but the step rule is
+        the same one :func:`repro.core.exploration.step_forward` defines.
+        """
+        kernel = self._kernel
+        next_vertex = kernel.next_vertex
+        next_port = kernel.next_port
+        owner_of = kernel.owner
+        physical_port_of = kernel.physical_port
+        sequence = self._offsets
         length = len(sequence)
-        node_id = ctx.node_id
         while True:
-            owner = self._reduction.to_original(state.vertex)
+            owner = owner_of[vertex]
             if direction is Direction.FORWARD:
                 if owner == self._target:
                     if not self.delivered_at_target:
@@ -380,18 +355,18 @@ class RouteProtocol(Protocol):
                     direction = Direction.BACK
                     status = RouteOutcome.FAILURE
                     continue
-                offset = sequence[index]
-                next_state = step_forward(reduced, state, offset)
+                edge = 3 * vertex + (entry_port + sequence[index]) % 3
                 index += 1
-                next_owner = self._reduction.to_original(next_state.vertex)
-                if next_owner != owner:
+                self.forward_steps += 1
+                next_v = next_vertex[edge]
+                if owner_of[next_v] != owner:
                     # A cluster-leaving step always exits through the virtual
                     # node's external port, whose physical counterpart is the
                     # original port that virtual node carries.
-                    physical_port = self._physical_port_of(owner, state.vertex)
-                    ctx.send(physical_port, self._make_message(direction, status, index))
+                    ctx.send(physical_port_of[vertex], self._make_message(direction, status, index))
                     return
-                state = next_state
+                entry_port = next_port[edge]
+                vertex = next_v
             else:
                 if owner == self._source:
                     ctx.finish(status)
@@ -400,40 +375,43 @@ class RouteProtocol(Protocol):
                     ctx.finish(status)
                     return
                 offset = sequence[index - 1]
-                previous_state = step_backward(reduced, state, offset)
+                edge = 3 * vertex + entry_port
                 index -= 1
-                previous_owner = self._reduction.to_original(previous_state.vertex)
-                if previous_owner != owner:
-                    physical_port = self._physical_port_of(owner, state.vertex)
-                    ctx.send(physical_port, self._make_message(direction, status, index))
+                self.backward_steps += 1
+                previous_v = next_vertex[edge]
+                if owner_of[previous_v] != owner:
+                    ctx.send(physical_port_of[vertex], self._make_message(direction, status, index))
                     return
-                state = previous_state
+                entry_port = (next_port[edge] - offset) % 3
+                vertex = previous_v
 
     def _physical_port_of(self, owner: int, virtual_vertex: int) -> int:
         """Physical port of ``owner`` whose external edge this virtual vertex carries."""
-        cluster = self._reduction.cluster(owner)
-        if len(cluster) == 1:
-            return 0
-        return cluster.index(virtual_vertex)
+        return self._kernel.physical_port[virtual_vertex]
 
     # -- Protocol interface ----------------------------------------------- #
 
     def on_start(self, ctx: NodeContext) -> None:
-        state = WalkState(vertex=self._reduction.gateway(self._source), entry_port=0)
-        self._process(ctx, state, index=0, direction=Direction.FORWARD, status=None)
+        self._process(
+            ctx,
+            self._kernel.gateway(self._source),
+            0,
+            index=0,
+            direction=Direction.FORWARD,
+            status=None,
+        )
 
     def on_message(self, ctx: NodeContext, in_port: int, message: Message) -> None:
         direction, status, index = self._decode(message)
         virtual = self._reduction.carrier(ctx.node_id, in_port)
         if direction is Direction.FORWARD:
-            state = WalkState(vertex=virtual, entry_port=EXTERNAL_PORT)
+            entry_port = EXTERNAL_PORT
         else:
             # The sender already undid step ``index``; reconstruct the entry
-            # port of the pre-step state locally from the same offset.
-            offset = self._sequence[index]
-            degree = self._reduction.graph.degree(virtual)
-            state = WalkState(vertex=virtual, entry_port=(EXTERNAL_PORT - offset) % degree)
-        self._process(ctx, state, index, direction, status)
+            # port of the pre-step state locally from the same offset (every
+            # reduced vertex has degree 3).
+            entry_port = (EXTERNAL_PORT - self._offsets[index]) % 3
+        self._process(ctx, virtual, entry_port, index, direction, status)
 
 
 def route_on_network(
@@ -445,13 +423,19 @@ def route_on_network(
     payload: object = None,
     node_memory_bits: Optional[int] = None,
     max_events: Optional[int] = None,
+    engine: Optional[object] = None,
 ) -> RouteResult:
     """Run the distributed Algorithm ``Route`` on a simulated network.
 
     This is the end-to-end reproduction of Theorem 1: the message is actually
     transmitted hop by hop, every header is bit-accounted, per-node memory is
     metered, and the source node ends the run holding the success/failure
-    verdict.
+    verdict.  ``engine`` optionally supplies a prebuilt
+    :class:`~repro.core.engine.PreparedNetwork` for the network's graph;
+    otherwise the shared per-graph engine is used, so repeated calls on one
+    network never recompute the reduction.  A ``target`` that names no node
+    fails gracefully: the walk exhausts the sequence and the source receives
+    a FAILURE confirmation, exactly like the centralised walker.
     """
     if not network.graph.has_vertex(source):
         raise RoutingError(f"source {source!r} is not a node of the network")
@@ -462,6 +446,7 @@ def route_on_network(
         provider=provider,
         size_bound=size_bound,
         payload=payload,
+        engine=engine,
     )
     simulator = network.simulator(node_memory_bits=node_memory_bits)
     length = len(protocol._sequence)
@@ -481,8 +466,8 @@ def route_on_network(
         target=target,
         size_bound=protocol._bound,
         sequence_length=length,
-        forward_virtual_steps=protocol.target_found_at_step or 0,
-        backward_virtual_steps=0,
+        forward_virtual_steps=protocol.forward_steps,
+        backward_virtual_steps=protocol.backward_steps,
         physical_hops=result.stats.transmissions,
         target_found_at_step=protocol.target_found_at_step,
         header_bits=result.stats.max_header_bits,

@@ -21,12 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.exploration import WalkState, step_forward
+from repro.core.engine import prepare
 from repro.core.routing import _DEFAULT_PROVIDER
 from repro.core.universal import SequenceProvider
 from repro.errors import RoutingError
-from repro.graphs.connectivity import connected_component
-from repro.graphs.degree_reduction import reduce_to_three_regular
 from repro.graphs.labeled_graph import LabeledGraph
 
 __all__ = ["ConnectivityAnswer", "exploration_connectivity", "connectivity_matrix"]
@@ -67,22 +65,10 @@ def exploration_connectivity(
     if not graph.has_vertex(source):
         raise RoutingError(f"source {source!r} is not a vertex of the graph")
     provider = provider if provider is not None else _DEFAULT_PROVIDER
-    reduction = reduce_to_three_regular(graph)
-    reduced = reduction.graph
-    if size_bound is None:
-        size_bound = len(connected_component(reduced, reduction.gateway(source)))
-    sequence = provider.sequence_for(size_bound)
-
-    state = WalkState(vertex=reduction.gateway(source), entry_port=start_port)
-    steps = 0
-    if reduction.to_original(state.vertex) == target:
-        return ConnectivityAnswer(source, target, True, 0, len(sequence), size_bound)
-    for index in range(len(sequence)):
-        state = step_forward(reduced, state, sequence[index])
-        steps += 1
-        if reduction.to_original(state.vertex) == target:
-            return ConnectivityAnswer(source, target, True, steps, len(sequence), size_bound)
-    return ConnectivityAnswer(source, target, False, steps, len(sequence), size_bound)
+    connected, steps, length, bound = prepare(graph).connectivity_walk(
+        source, target, provider=provider, size_bound=size_bound, start_port=start_port
+    )
+    return ConnectivityAnswer(source, target, connected, steps, length, bound)
 
 
 def connectivity_matrix(

@@ -39,6 +39,11 @@ class AdHocNetwork:
             raise GraphStructureError("universal names must be unique")
         if any(not 0 <= name < self.namespace_size for name in self.names.values()):
             raise GraphStructureError("names must fall inside the namespace")
+        # Precomputed inverse of ``names`` so name resolution is O(1); stored
+        # via object.__setattr__ because the dataclass is frozen.
+        object.__setattr__(
+            self, "_node_by_name", {name: node for node, name in self.names.items()}
+        )
 
     @property
     def num_nodes(self) -> int:
@@ -55,11 +60,11 @@ class AdHocNetwork:
         return self.names[node_id]
 
     def node_of(self, name: int) -> int:
-        """Node id holding a universal name."""
-        for node_id, node_name in self.names.items():
-            if node_name == name:
-                return node_id
-        raise GraphStructureError(f"no node holds name {name!r}")
+        """Node id holding a universal name (O(1) via the precomputed inverse)."""
+        try:
+            return self._node_by_name[name]
+        except KeyError:
+            raise GraphStructureError(f"no node holds name {name!r}") from None
 
     def simulator(self, node_memory_bits: Optional[int] = None, link_delay: int = 1) -> Simulator:
         """Build a fresh simulator over this network."""

@@ -134,8 +134,14 @@ def route_over_schedule(
         from repro.core.routing import default_provider
 
         provider = default_provider()
+    # Snapshot reductions come from the shared prepared-engine cache, so
+    # repeated attempts over the same schedule (sweeps, parameter studies)
+    # reduce each snapshot only once.  Imported lazily for the same
+    # circularity reason as the provider above.
+    from repro.core.engine import prepare
+
     reductions: List[DegreeReducedGraph] = [
-        reduce_to_three_regular(graph) for graph in schedule.snapshots
+        prepare(graph).reduction for graph in schedule.snapshots
     ]
     if size_bound is None:
         size_bound = len(
