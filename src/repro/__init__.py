@@ -54,6 +54,7 @@ from repro.core import (
     HybridResult,
     MemoryMeter,
     PreparedNetwork,
+    PreparedSchedule,
     RandomSequenceProvider,
     RouteOutcome,
     RouteResult,
@@ -63,6 +64,7 @@ from repro.core import (
     covers_component,
     hybrid_route,
     prepare,
+    prepare_schedule,
     route,
     route_many,
     route_on_network,
@@ -70,11 +72,15 @@ from repro.core import (
 from repro.core.broadcast import broadcast_on_network
 from repro.network import (
     AdHocNetwork,
+    DynamicOutcome,
     Message,
     Protocol,
     Simulator,
+    TopologySchedule,
     build_graph_network,
     build_unit_disk_network,
+    route_many_over_schedule,
+    route_over_schedule,
 )
 from repro.baselines import (
     RoutingAttempt,
@@ -124,7 +130,9 @@ __all__ = [
     "route_on_network",
     "route_many",
     "PreparedNetwork",
+    "PreparedSchedule",
     "prepare",
+    "prepare_schedule",
     "BroadcastResult",
     "broadcast",
     "broadcast_on_network",
@@ -134,11 +142,15 @@ __all__ = [
     "hybrid_route",
     # network
     "AdHocNetwork",
+    "DynamicOutcome",
     "Message",
     "Protocol",
     "Simulator",
+    "TopologySchedule",
     "build_graph_network",
     "build_unit_disk_network",
+    "route_over_schedule",
+    "route_many_over_schedule",
     # baselines
     "RoutingAttempt",
     "random_walk_route",

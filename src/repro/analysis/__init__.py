@@ -19,8 +19,18 @@ from repro.analysis.reporting import format_table, format_markdown_table
 from repro.analysis.experiments import (
     ExperimentResult,
     ScenarioSpec,
+    build_scenario,
+    build_schedule,
+    dynamic_schedule_scenarios,
     run_parameter_sweep,
+    structured_scenarios,
     unit_disk_scenarios,
+)
+from repro.analysis.conformance import (
+    ConformanceReport,
+    ConformanceViolation,
+    default_conformance_matrix,
+    run_conformance,
 )
 
 __all__ = [
@@ -35,6 +45,14 @@ __all__ = [
     "format_markdown_table",
     "ExperimentResult",
     "ScenarioSpec",
+    "build_scenario",
+    "build_schedule",
+    "dynamic_schedule_scenarios",
     "run_parameter_sweep",
+    "structured_scenarios",
     "unit_disk_scenarios",
+    "ConformanceReport",
+    "ConformanceViolation",
+    "default_conformance_matrix",
+    "run_conformance",
 ]

@@ -1,0 +1,373 @@
+"""Differential conformance harness across every router in the repository.
+
+**Paper vs. extension.**  The paper proves one algorithm correct; this module
+is reproduction infrastructure.  It runs the *same* source/target pairs
+through every implementation the repository ships — the prepared engine
+(:mod:`repro.core.engine`), the seed walkers (:func:`repro.core.routing.route`
+and the fully distributed :func:`repro.core.routing.route_on_network`), the
+schedule-aware engine of the dynamic-topology extension, and every baseline
+router registered in :data:`repro.baselines.ALL_ROUTER_SPECS` — over a matrix
+of :class:`~repro.analysis.experiments.ScenarioSpec` instances (unit-disk 2D
+and 3D, structured topologies, deliberately disconnected networks, and
+dynamic topology schedules), and asserts the cross-implementation invariants
+in one table-driven pass:
+
+* the guaranteed router succeeds **iff** source and target are connected
+  (Theorem 1), and its centralised, prepared and distributed realisations
+  agree on outcome and step accounting;
+* no router ever delivers across components ("no false delivery");
+* routers whose contract guarantees delivery/detection (flooding, DFS token)
+  honour it, while weaker flags (greedy's local-minimum detection) are not
+  over-trusted;
+* the schedule-aware engine agrees with the reference schedule walker
+  result-for-result, degenerates to static routing on static schedules, and
+  labels the soundness of every dynamic verdict correctly.
+
+The harness is what the roadmap's "validate round-based models against their
+synchronous idealisation" advice looks like in code: one place where every
+implementation is confronted with every scenario family, so a divergence
+introduced by an optimisation shows up as a named invariant violation rather
+than a silently different benchmark number.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import (
+    ScenarioSpec,
+    build_scenario,
+    build_schedule,
+    dynamic_schedule_scenarios,
+    pick_source_target_pairs,
+)
+from repro.analysis.reporting import format_table
+from repro.baselines import applicable_routers
+from repro.core.engine import prepare, prepare_schedule
+from repro.core.routing import RouteOutcome, route, route_on_network
+from repro.core.universal import SequenceProvider
+from repro.graphs.connectivity import are_connected
+from repro.network.dynamics import (
+    DynamicOutcome,
+    reference_route_over_schedule,
+)
+
+__all__ = [
+    "ConformanceViolation",
+    "ConformanceReport",
+    "default_conformance_matrix",
+    "run_conformance",
+]
+
+#: Skip the (slow, per-event bit-accounted) distributed realisation when the
+#: exploration sequence is longer than this; the walkers are still compared.
+_DISTRIBUTED_LENGTH_CAP = 30_000
+
+
+@dataclass(frozen=True)
+class ConformanceViolation:
+    """One failed invariant: which scenario, router, pair and rule."""
+
+    scenario: str
+    router: str
+    source: int
+    target: int
+    invariant: str
+    detail: str = ""
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one conformance pass: summary rows plus every violation."""
+
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    violations: List[ConformanceViolation] = field(default_factory=list)
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held on every scenario."""
+        return not self.violations
+
+    def table(self, title: str = "differential conformance") -> str:
+        """The per-(scenario, router) summary as a rendered table."""
+        return format_table(self.headers, self.rows, title=title)
+
+
+def default_conformance_matrix() -> List[ScenarioSpec]:
+    """The scenario matrix the conformance suite runs by default.
+
+    Unit-disk deployments in 2D and 3D (position-based baselines apply),
+    structured topologies spanning degree profiles (grid, ring, prism,
+    random-regular, lollipop, tree), sparse Erdős–Rényi and the deliberately
+    disconnected ``two-rings`` family (failure/confirmation paths), plus
+    dynamic topology schedules for every supported mutation.
+    """
+    scenarios: List[ScenarioSpec] = [
+        ScenarioSpec(name="udg2d-n20", family="unit-disk", size=20, seed=0, radius=0.35),
+        ScenarioSpec(name="udg2d-n20-s1", family="unit-disk", size=20, seed=1, radius=0.35),
+        ScenarioSpec(
+            name="udg3d-n16", family="unit-disk", size=16, seed=0, radius=0.5, dimension=3
+        ),
+        ScenarioSpec(name="grid-n16", family="grid", size=16, seed=0),
+        ScenarioSpec(name="ring-n8", family="ring", size=8, seed=0),
+        ScenarioSpec(name="prism-n10", family="prism", size=10, seed=0),
+        ScenarioSpec(
+            name="rr3-n12", family="random-regular", size=12, seed=1, extra=(("degree", 3),)
+        ),
+        ScenarioSpec(
+            name="er-n14", family="erdos-renyi", size=14, seed=2, extra=(("p", 0.15),)
+        ),
+        ScenarioSpec(name="lollipop-n12", family="lollipop", size=12, seed=0),
+        ScenarioSpec(name="tree-n14", family="tree", size=14, seed=3),
+        ScenarioSpec(name="two-rings-n11", family="two-rings", size=11, seed=0),
+    ]
+    scenarios.extend(
+        dynamic_schedule_scenarios(
+            families=("grid", "ring"),
+            sizes=(12,),
+            seeds=(0,),
+            snapshots=3,
+            switch_every=5,
+            mutations=("relabel", "drop-edge"),
+        )
+    )
+    scenarios.append(
+        ScenarioSpec(
+            name="dyn-static-grid-n12",
+            family="grid",
+            size=12,
+            seed=0,
+            extra=(("mutation", "static"), ("snapshots", 1), ("switch_every", 4)),
+        )
+    )
+    return scenarios
+
+
+def _is_dynamic(spec: ScenarioSpec) -> bool:
+    return any(key in ("snapshots", "mutation", "switch_every") for key, _ in spec.extra)
+
+
+class _Tally:
+    """Per-(scenario, router) counters feeding the report rows."""
+
+    def __init__(self) -> None:
+        self.pairs = 0
+        self.delivered = 0
+        self.detected = 0
+        self.violations = 0
+
+
+def run_conformance(
+    scenarios: Optional[Sequence[ScenarioSpec]] = None,
+    pairs_per_scenario: int = 4,
+    seed: int = 0,
+    provider: Optional[SequenceProvider] = None,
+) -> ConformanceReport:
+    """Run the differential conformance pass over ``scenarios``.
+
+    Every scenario is materialised once; every pair is routed by every
+    applicable implementation; every invariant violation is recorded with the
+    scenario, router, pair and the rule it broke.  The returned report is
+    table-renderable and ``report.ok`` is the single go/no-go flag the test
+    suite asserts.
+    """
+    report = ConformanceReport(
+        headers=["scenario", "router", "pairs", "delivered", "detected", "violations"]
+    )
+    for spec in scenarios if scenarios is not None else default_conformance_matrix():
+        if _is_dynamic(spec):
+            _check_dynamic_scenario(spec, pairs_per_scenario, seed, provider, report)
+        else:
+            _check_static_scenario(spec, pairs_per_scenario, seed, provider, report)
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Static scenarios
+# --------------------------------------------------------------------------- #
+
+
+def _check_static_scenario(
+    spec: ScenarioSpec,
+    pairs_per_scenario: int,
+    seed: int,
+    provider: Optional[SequenceProvider],
+    report: ConformanceReport,
+) -> None:
+    network = build_scenario(spec)
+    graph = network.graph
+    deployment = network.deployment
+    dimension = deployment.dimension if deployment is not None else None
+    engine = prepare(graph)
+    pairs = pick_source_target_pairs(network, pairs_per_scenario, seed=seed)
+    tallies: Dict[str, _Tally] = {}
+
+    def fail(router: str, s: int, t: int, invariant: str, detail: str = "") -> None:
+        report.violations.append(
+            ConformanceViolation(spec.name, router, s, t, invariant, detail)
+        )
+        tallies.setdefault(router, _Tally()).violations += 1
+
+    def check(router: str, s: int, t: int, invariant: str, ok: bool, detail: str = "") -> None:
+        report.checks += 1
+        if not ok:
+            fail(router, s, t, invariant, detail)
+
+    for s, t in pairs:
+        truth = are_connected(graph, s, t)
+
+        # --- the guaranteed router: three realisations, one behaviour ----- #
+        engine_result = engine.route(s, t, provider=provider)
+        tally = tallies.setdefault("ues-engine", _Tally())
+        tally.pairs += 1
+        tally.delivered += int(engine_result.delivered)
+        tally.detected += int(engine_result.outcome is RouteOutcome.FAILURE)
+        check(
+            "ues-engine", s, t, "guaranteed-delivery",
+            (engine_result.outcome is RouteOutcome.SUCCESS) == truth,
+            f"outcome={engine_result.outcome.value} connected={truth}",
+        )
+        check(
+            "ues-engine", s, t, "outcome-matches-delivery",
+            engine_result.delivered == (engine_result.outcome is RouteOutcome.SUCCESS),
+        )
+
+        wrapper_result = route(graph, s, t, provider=provider)
+        check(
+            "ues-route", s, t, "wrapper-parity",
+            wrapper_result == engine_result,
+            f"route()={wrapper_result} engine={engine_result}",
+        )
+        traced_result, _trace = engine.route_with_trace(s, t, provider=provider)
+        check(
+            "ues-engine", s, t, "trace-parity",
+            traced_result == engine_result,
+            "route_with_trace diverged from route",
+        )
+
+        if engine_result.sequence_length <= _DISTRIBUTED_LENGTH_CAP:
+            distributed = route_on_network(network, s, t, provider=provider)
+            tally = tallies.setdefault("ues-distributed", _Tally())
+            tally.pairs += 1
+            tally.delivered += int(distributed.delivered)
+            tally.detected += int(distributed.outcome is RouteOutcome.FAILURE)
+            agree = (
+                distributed.outcome is engine_result.outcome
+                and distributed.delivered == engine_result.delivered
+                and distributed.forward_virtual_steps == engine_result.forward_virtual_steps
+                and distributed.backward_virtual_steps == engine_result.backward_virtual_steps
+                and distributed.size_bound == engine_result.size_bound
+            )
+            check(
+                "ues-distributed", s, t, "distributed-parity", agree,
+                f"distributed={distributed.outcome.value}/"
+                f"{distributed.forward_virtual_steps}+{distributed.backward_virtual_steps} "
+                f"engine={engine_result.outcome.value}/"
+                f"{engine_result.forward_virtual_steps}+{engine_result.backward_virtual_steps}",
+            )
+
+        # --- every applicable baseline, against its declared contract ----- #
+        for router in applicable_routers(deployment, dimension):
+            attempt = router.run(graph, deployment, s, t, seed)
+            tally = tallies.setdefault(router.name, _Tally())
+            tally.pairs += 1
+            tally.delivered += int(attempt.delivered)
+            tally.detected += int(attempt.detected_failure)
+            check(
+                router.name, s, t, "no-false-delivery",
+                (not attempt.delivered) or truth,
+                "delivered across components",
+            )
+            if router.guaranteed_delivery:
+                check(
+                    router.name, s, t, "guaranteed-delivery",
+                    attempt.delivered == truth,
+                    f"delivered={attempt.delivered} connected={truth}",
+                )
+            if router.guaranteed_detection:
+                check(
+                    router.name, s, t, "guaranteed-detection",
+                    (not attempt.detected_failure) or not truth,
+                    "failure detected although the pair is connected",
+                )
+
+    for router_name in sorted(tallies):
+        tally = tallies[router_name]
+        report.rows.append(
+            [spec.name, router_name, tally.pairs, tally.delivered, tally.detected, tally.violations]
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Dynamic-schedule scenarios
+# --------------------------------------------------------------------------- #
+
+
+def _check_dynamic_scenario(
+    spec: ScenarioSpec,
+    pairs_per_scenario: int,
+    seed: int,
+    provider: Optional[SequenceProvider],
+    report: ConformanceReport,
+) -> None:
+    schedule = build_schedule(spec)
+    engine = prepare_schedule(schedule)
+    base = schedule.snapshots[0]
+    vertices = list(base.vertices)
+    rng = random.Random(seed)
+    pairs: List[Tuple[int, int]] = []
+    for _ in range(pairs_per_scenario):
+        s = rng.choice(vertices)
+        t = rng.choice(vertices)
+        while t == s and len(vertices) > 1:
+            t = rng.choice(vertices)
+        pairs.append((s, t))
+
+    tally = _Tally()
+
+    def check(s: int, t: int, invariant: str, ok: bool, detail: str = "") -> None:
+        report.checks += 1
+        if not ok:
+            report.violations.append(
+                ConformanceViolation(spec.name, "ues-schedule", s, t, invariant, detail)
+            )
+            tally.violations += 1
+
+    static_engine = prepare(base)
+    for s, t in pairs:
+        result = engine.route(s, t, provider=provider)
+        tally.pairs += 1
+        tally.delivered += int(result.outcome is DynamicOutcome.DELIVERED)
+        tally.detected += int(result.outcome is DynamicOutcome.REPORTED_FAILURE)
+
+        reference = reference_route_over_schedule(schedule, s, t, provider=provider)
+        check(
+            s, t, "schedule-engine-parity",
+            result == reference,
+            f"engine={result} reference={reference}",
+        )
+        check(s, t, "delivery-is-sound", result.outcome is not DynamicOutcome.DELIVERED or result.sound)
+        check(s, t, "stranding-is-unsound", result.outcome is not DynamicOutcome.STRANDED or not result.sound)
+        if result.outcome is DynamicOutcome.REPORTED_FAILURE:
+            check(
+                s, t, "failure-soundness-label",
+                result.sound == (not schedule.always_connected(s, t)),
+                f"sound={result.sound}",
+            )
+        if schedule.is_static:
+            static_result = static_engine.route(s, t, provider=provider)
+            check(
+                s, t, "static-schedule-degenerates",
+                (result.outcome is DynamicOutcome.DELIVERED)
+                == (static_result.outcome is RouteOutcome.SUCCESS)
+                and result.outcome is not DynamicOutcome.STRANDED,
+                f"dynamic={result.outcome.value} static={static_result.outcome.value}",
+            )
+
+    report.rows.append(
+        [spec.name, "ues-schedule", tally.pairs, tally.delivered, tally.detected, tally.violations]
+    )

@@ -6,6 +6,14 @@ a caller-supplied function over a list of scenarios and collects rows for the
 report tables.  The benchmark modules in ``benchmarks/`` are thin wrappers
 around these helpers, so the same sweeps can also be run interactively from
 the examples.
+
+A spec can also describe a *dynamic-schedule* scenario (an extension beyond
+the paper's static model): :func:`build_schedule` derives a
+:class:`~repro.network.dynamics.TopologySchedule` from the spec's base
+topology by applying a per-snapshot mutation (``relabel`` permutes port
+labels, ``drop-edge`` removes a link, ``static`` repeats the base graph),
+which is the workload the schedule-aware engine and the conformance harness
+exercise.
 """
 
 from __future__ import annotations
@@ -19,16 +27,22 @@ from repro.errors import ExperimentError
 from repro.graphs import generators
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.network.adhoc import AdHocNetwork, build_graph_network, build_unit_disk_network
+from repro.network.dynamics import TopologySchedule
 
 __all__ = [
     "ScenarioSpec",
     "ExperimentResult",
     "build_scenario",
+    "build_schedule",
     "unit_disk_scenarios",
     "structured_scenarios",
+    "dynamic_schedule_scenarios",
     "run_parameter_sweep",
     "pick_source_target_pairs",
 ]
+
+#: Snapshot mutations understood by :func:`build_schedule`.
+SCHEDULE_MUTATIONS = ("static", "relabel", "drop-edge")
 
 
 @dataclass(frozen=True)
@@ -81,7 +95,12 @@ def build_scenario(spec: ScenarioSpec) -> AdHocNetwork:
 
     Families: ``unit-disk`` (requires ``radius``), ``grid``, ``torus``,
     ``ring``, ``prism``, ``random-regular``, ``erdos-renyi``, ``lollipop``,
-    ``tree``.
+    ``tree``, ``two-rings``.
+
+    Structured families round ``size`` to the nearest valid configuration
+    (a grid needs a square side, a prism an even count, ``two-rings`` two
+    cycles of >= 3 vertices, ...), so the realised vertex count can differ
+    slightly from ``spec.size`` — read it off the returned network.
     """
     family = spec.family
     if family == "unit-disk":
@@ -123,7 +142,76 @@ def _structured_graph(spec: ScenarioSpec) -> LabeledGraph:
         return generators.lollipop_graph(clique, max(1, size - clique))
     if family == "tree":
         return generators.random_tree(max(1, size), seed=seed)
+    if family == "two-rings":
+        # Deliberately disconnected: exercises the FAILURE/confirmation paths.
+        half = max(3, size // 2)
+        return generators.disjoint_union(
+            [generators.cycle_graph(half), generators.cycle_graph(max(3, size - half))]
+        )
     raise ExperimentError(f"unknown scenario family {family!r}")
+
+
+def build_schedule(spec: ScenarioSpec) -> TopologySchedule:
+    """Materialise a scenario into a :class:`TopologySchedule`.
+
+    The schedule starts from the spec's base topology and derives further
+    snapshots with the mutation named in the spec's ``extra`` parameters:
+
+    ``snapshots``
+        Number of snapshots (default 1: a static schedule).
+    ``switch_every``
+        Walk steps between consecutive switch times (default 8).
+    ``mutation``
+        One of :data:`SCHEDULE_MUTATIONS`: ``relabel`` permutes every
+        vertex's port labels (degrees preserved — the walk can survive),
+        ``drop-edge`` removes one random link per snapshot (degrees change —
+        the walk strands when the change hits it), ``static`` repeats the
+        base graph object.
+
+    Mutations are seeded from ``spec.seed``, so the same spec always yields
+    the same schedule.
+    """
+    base = build_scenario(spec).graph
+    extra = dict(spec.extra)
+    count = int(extra.get("snapshots", 1))
+    period = int(extra.get("switch_every", 8))
+    mutation = str(extra.get("mutation", "relabel"))
+    if count < 1:
+        raise ExperimentError("a schedule needs at least one snapshot")
+    if period < 1:
+        raise ExperimentError("switch_every must be positive")
+    if mutation not in SCHEDULE_MUTATIONS:
+        raise ExperimentError(
+            f"unknown schedule mutation {mutation!r}; expected one of {SCHEDULE_MUTATIONS}"
+        )
+    rng = random.Random((spec.seed, "schedule-mutations").__repr__())
+    snapshots: List[LabeledGraph] = [base]
+    current = base
+    for _ in range(count - 1):
+        current = _mutate_snapshot(current, mutation, rng)
+        snapshots.append(current)
+    switch_times = tuple(index * period for index in range(count))
+    return TopologySchedule(snapshots=tuple(snapshots), switch_times=switch_times)
+
+
+def _mutate_snapshot(graph: LabeledGraph, mutation: str, rng: random.Random) -> LabeledGraph:
+    if mutation == "static":
+        return graph
+    if mutation == "relabel":
+        return graph.with_relabeled_ports(rng)
+    # mutation == "drop-edge": remove one random (non-loop) link, keeping the
+    # vertex set; the two endpoints lose a degree, which strands a walk that
+    # is sitting on them when the switch hits.
+    edges = [edge for edge in graph.edges() if not edge.is_self_loop]
+    if not edges:
+        return graph
+    dropped = rng.choice(edges)
+    kept = [
+        (edge.u, edge.v)
+        for edge in graph.edges()
+        if edge.key() != dropped.key()
+    ]
+    return LabeledGraph.from_edges(kept, vertices=graph.vertices)
 
 
 def unit_disk_scenarios(
@@ -163,11 +251,51 @@ def structured_scenarios(
     ]
 
 
+def dynamic_schedule_scenarios(
+    families: Sequence[str] = ("grid", "ring"),
+    sizes: Sequence[int] = (16,),
+    seeds: Sequence[int] = (0,),
+    snapshots: int = 3,
+    switch_every: int = 6,
+    mutations: Sequence[str] = ("relabel",),
+) -> List[ScenarioSpec]:
+    """A grid of dynamic-schedule scenarios over families × sizes × seeds × mutations.
+
+    Each spec carries the schedule parameters in ``extra`` and is materialised
+    with :func:`build_schedule`; its base topology is still available through
+    :func:`build_scenario`, which is how the conformance harness compares the
+    dynamic walk against static routing on snapshot 0.
+    """
+    specs: List[ScenarioSpec] = []
+    for family, size, seed, mutation in itertools.product(
+        families, sizes, seeds, mutations
+    ):
+        specs.append(
+            ScenarioSpec(
+                name=f"dyn-{mutation}-{family}-n{size}-s{seed}",
+                family=family,
+                size=size,
+                seed=seed,
+                extra=(
+                    ("mutation", mutation),
+                    ("snapshots", snapshots),
+                    ("switch_every", switch_every),
+                ),
+            )
+        )
+    return specs
+
+
 def pick_source_target_pairs(
-    network: AdHocNetwork, pairs: int, seed: int = 0, distinct: bool = True
+    network, pairs: int, seed: int = 0, distinct: bool = True
 ) -> List[Tuple[int, int]]:
-    """Deterministically choose source/target node pairs for an experiment."""
-    vertices = list(network.graph.vertices)
+    """Deterministically choose source/target node pairs for an experiment.
+
+    ``network`` is an :class:`AdHocNetwork` or a bare
+    :class:`~repro.graphs.labeled_graph.LabeledGraph` (anything carrying its
+    vertex set directly or via a ``graph`` attribute).
+    """
+    vertices = list(getattr(network, "graph", network).vertices)
     if not vertices:
         raise ExperimentError("cannot pick pairs from an empty network")
     rng = random.Random(seed)

@@ -14,15 +14,56 @@ All baselines return a :class:`RoutingAttempt`, which also satisfies the
 (:func:`repro.core.hybrid.hybrid_route`).
 """
 
-from repro.baselines.base import RoutingAttempt
+from typing import Optional, Tuple
+
+from repro.baselines.base import RouterSpec, RoutingAttempt
+from repro.baselines import random_walk_routing
 from repro.baselines.random_walk_routing import random_walk_route
+from repro.baselines import flooding
 from repro.baselines.flooding import flood_broadcast, flood_route, FloodResult
+from repro.baselines import greedy_geo
 from repro.baselines.greedy_geo import greedy_geographic_route
+from repro.baselines import face_routing
 from repro.baselines.face_routing import gfg_route, face_route
+from repro.baselines import dfs_routing
 from repro.baselines.dfs_routing import dfs_token_route
 
+#: Every baseline router, as a uniform descriptor.  The conformance harness
+#: (and any sweep that wants "all competitors on this instance") iterates
+#: this tuple instead of hard-coding algorithm-specific call signatures.
+ALL_ROUTER_SPECS: Tuple[RouterSpec, ...] = (
+    random_walk_routing.SPEC,
+    flooding.SPEC,
+    dfs_routing.SPEC,
+    greedy_geo.SPEC,
+    face_routing.SPEC,
+)
+
+
+def applicable_routers(
+    deployment: Optional[object] = None, dimension: Optional[int] = None
+) -> Tuple[RouterSpec, ...]:
+    """The subset of :data:`ALL_ROUTER_SPECS` runnable on a scenario.
+
+    ``deployment`` is the scenario's node deployment (``None`` for purely
+    topological networks, which rules out the position-based routers);
+    ``dimension`` its dimensionality (face routing requires 2D).
+    """
+    routers = []
+    for spec in ALL_ROUTER_SPECS:
+        if spec.needs_positions and deployment is None:
+            continue
+        if spec.planar_only and dimension is not None and dimension != 2:
+            continue
+        routers.append(spec)
+    return tuple(routers)
+
+
 __all__ = [
+    "RouterSpec",
     "RoutingAttempt",
+    "ALL_ROUTER_SPECS",
+    "applicable_routers",
     "random_walk_route",
     "flood_broadcast",
     "flood_route",

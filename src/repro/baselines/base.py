@@ -1,11 +1,23 @@
-"""Common result type shared by every baseline router."""
+"""Common result type and router descriptor shared by every baseline router.
+
+Besides :class:`RoutingAttempt` (the per-attempt outcome record), this module
+defines :class:`RouterSpec`: a uniform descriptor each baseline module
+publishes as ``SPEC``.  The descriptor normalises the call signature (every
+router runs as ``spec.run(graph, deployment, source, target, seed)``) and
+declares the router's *contract* — whether it needs node positions, whether
+it only works on planar 2D deployments, and whether delivery or failure
+detection are guaranteed.  The differential conformance harness
+(:mod:`repro.analysis.conformance`) iterates these descriptors to assert each
+router's contract over the whole scenario matrix without special-casing any
+algorithm.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
-__all__ = ["RoutingAttempt"]
+__all__ = ["RoutingAttempt", "RouterSpec"]
 
 
 @dataclass(frozen=True)
@@ -47,3 +59,42 @@ class RoutingAttempt:
     def stretch_basis(self) -> int:
         """Hop count used when computing stretch against the shortest path."""
         return self.hops
+
+
+@dataclass(frozen=True)
+class RouterSpec:
+    """Uniform descriptor of one baseline router (used by the conformance harness).
+
+    Attributes
+    ----------
+    name:
+        Stable identifier matching the attempts' ``algorithm`` field.
+    run:
+        Uniform adapter ``(graph, deployment, source, target, seed) ->
+        RoutingAttempt``; routers that ignore positions or randomness simply
+        drop those arguments.
+    needs_positions:
+        True when the router requires a :class:`~repro.geometry.deployment.Deployment`
+        (position-based algorithms); it is skipped on purely topological
+        scenarios.
+    planar_only:
+        True when the router's guarantee (and implementation) requires a 2D
+        deployment with a planarisable subgraph — face routing and GFG.
+    guaranteed_delivery:
+        True when the router must deliver whenever source and target are
+        connected (flooding, DFS token routing).  Routers without this flag
+        may fail on connected pairs, but *no* router may ever deliver across
+        components — that invariant is checked unconditionally.
+    guaranteed_detection:
+        True when ``detected_failure`` certifies that the target is
+        unreachable.  Routers without this flag may raise the flag for softer
+        reasons (greedy's local minima), so it proves nothing about
+        connectivity.
+    """
+
+    name: str
+    run: Callable[..., "RoutingAttempt"]
+    needs_positions: bool = False
+    planar_only: bool = False
+    guaranteed_delivery: bool = False
+    guaranteed_detection: bool = False

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.baselines.base import RoutingAttempt
+from repro.baselines.base import RouterSpec, RoutingAttempt
 from repro.errors import RoutingError
 from repro.graphs.labeled_graph import LabeledGraph
 
-__all__ = ["dfs_token_route"]
+__all__ = ["dfs_token_route", "SPEC"]
 
 
 def dfs_token_route(
@@ -115,3 +115,15 @@ def _per_node_state_bits(graph: LabeledGraph, visited: Set[int]) -> int:
         port_bits = (degree).bit_length()
         worst = max(worst, 1 + 2 * port_bits)
     return worst
+
+
+#: Conformance descriptor: the token-depositing DFS guarantees delivery and
+#: detection, but only by storing per-node state the paper's model forbids.
+SPEC = RouterSpec(
+    name="dfs-token",
+    run=lambda graph, deployment, source, target, seed: dfs_token_route(
+        graph, source, target
+    ),
+    guaranteed_delivery=True,
+    guaranteed_detection=True,
+)

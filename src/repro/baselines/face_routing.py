@@ -26,14 +26,14 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
-from repro.baselines.base import RoutingAttempt
+from repro.baselines.base import RouterSpec, RoutingAttempt
 from repro.errors import GeometryError, RoutingError
 from repro.geometry.deployment import Deployment
 from repro.geometry.planar import gabriel_subgraph, segments_properly_intersect
 from repro.geometry.points import Point, distance
 from repro.graphs.labeled_graph import LabeledGraph
 
-__all__ = ["face_route", "gfg_route"]
+__all__ = ["face_route", "gfg_route", "SPEC"]
 
 
 def _require_2d(deployment: Deployment) -> None:
@@ -256,3 +256,16 @@ def gfg_route(
         detected_failure=False,
         notes="" if delivered else "hop budget exhausted",
     )
+
+
+#: Conformance descriptor: GFG needs a 2D deployment (its guarantee rests on
+#: the planarised subgraph, which does not exist in 3D — the limitation the
+#: paper's topology-independent approach removes).
+SPEC = RouterSpec(
+    name="gfg",
+    run=lambda graph, deployment, source, target, seed: gfg_route(
+        graph, deployment, source, target
+    ),
+    needs_positions=True,
+    planar_only=True,
+)

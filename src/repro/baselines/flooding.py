@@ -15,11 +15,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
-from repro.baselines.base import RoutingAttempt
+from repro.baselines.base import RouterSpec, RoutingAttempt
 from repro.errors import RoutingError
 from repro.graphs.labeled_graph import LabeledGraph
 
-__all__ = ["FloodResult", "flood_broadcast", "flood_route"]
+__all__ = ["FloodResult", "flood_broadcast", "flood_route", "SPEC"]
 
 
 @dataclass(frozen=True)
@@ -91,3 +91,15 @@ def flood_route(graph: LabeledGraph, source: int, target: int) -> RoutingAttempt
         per_node_state_bits=flood.per_node_state_bits,
         notes=f"reached {flood.reach_count} nodes in {flood.rounds} rounds",
     )
+
+
+#: Conformance descriptor: flooding reaches the whole component, so both
+#: delivery and failure detection are guaranteed (at per-node-state cost).
+SPEC = RouterSpec(
+    name="flooding",
+    run=lambda graph, deployment, source, target, seed: flood_route(
+        graph, source, target
+    ),
+    guaranteed_delivery=True,
+    guaranteed_detection=True,
+)

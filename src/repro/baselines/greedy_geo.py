@@ -14,12 +14,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.baselines.base import RoutingAttempt
+from repro.baselines.base import RouterSpec, RoutingAttempt
 from repro.errors import GeometryError, RoutingError
 from repro.geometry.deployment import Deployment
 from repro.graphs.labeled_graph import LabeledGraph
 
-__all__ = ["greedy_geographic_route"]
+__all__ = ["greedy_geographic_route", "SPEC"]
 
 
 def greedy_geographic_route(
@@ -79,3 +79,15 @@ def greedy_geographic_route(
         detected_failure=False if delivered else False,
         notes="" if delivered else "hop budget exhausted",
     )
+
+
+#: Conformance descriptor: greedy needs positions and guarantees nothing —
+#: its detected_failure only means "stuck at a local minimum", which can
+#: happen on perfectly connected pairs.
+SPEC = RouterSpec(
+    name="greedy",
+    run=lambda graph, deployment, source, target, seed: greedy_geographic_route(
+        graph, deployment, source, target
+    ),
+    needs_positions=True,
+)

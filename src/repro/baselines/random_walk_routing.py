@@ -13,12 +13,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.baselines.base import RoutingAttempt
+from repro.baselines.base import RouterSpec, RoutingAttempt
 from repro.errors import RoutingError
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.walks.random_walk import RandomWalk
 
-__all__ = ["random_walk_route"]
+__all__ = ["random_walk_route", "SPEC"]
 
 
 def random_walk_route(
@@ -71,3 +71,13 @@ def random_walk_route(
         detected_failure=False,
         notes=f"budget of {budget} steps exhausted",
     )
+
+
+#: Conformance descriptor: probabilistic, position-free, no guarantees — the
+#: strawman whose silent failures the guaranteed router eliminates.
+SPEC = RouterSpec(
+    name="random-walk",
+    run=lambda graph, deployment, source, target, seed: random_walk_route(
+        graph, source, target, seed=seed
+    ),
+)

@@ -23,6 +23,18 @@ can be exercised without writing any Python:
     (:meth:`~repro.core.engine.PreparedNetwork.route_many`) and print per-pair
     outcomes plus the aggregate throughput.
 
+``python -m repro route-schedule --family grid --size 16 --snapshots 4 --mutation relabel --pairs 10``
+    Route random pairs over a *dynamic* topology schedule (the extension
+    beyond the paper's static model) through the schedule-aware engine
+    (:class:`~repro.core.engine.PreparedSchedule`): the base topology plus
+    ``--snapshots`` mutated snapshots switching every ``--switch-every``
+    walk steps.
+
+``python -m repro conformance``
+    Run the differential conformance harness over the default scenario
+    matrix and print the per-(scenario, router) summary; exit status 1 when
+    any cross-implementation invariant is violated.
+
 All commands accept ``--seed`` for reproducibility and ``--dimension 3`` for
 unit-ball (3D) deployments.  Exit status is 0 on success, 2 on bad arguments.
 """
@@ -30,11 +42,19 @@ unit-ball (3D) deployments.  Exit status is 0 on success, 2 on bad arguments.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import List, Optional, Sequence
 
-from repro.analysis.experiments import ScenarioSpec, build_scenario, pick_source_target_pairs
+from repro.analysis.conformance import run_conformance
+from repro.analysis.experiments import (
+    SCHEDULE_MUTATIONS,
+    ScenarioSpec,
+    build_scenario,
+    build_schedule,
+    pick_source_target_pairs,
+)
 from repro.analysis.metrics import (
     delivery_rate,
     failure_detection_rate,
@@ -49,7 +69,7 @@ from repro.baselines.greedy_geo import greedy_geographic_route
 from repro.baselines.random_walk_routing import random_walk_route
 from repro.core.broadcast import broadcast
 from repro.core.counting import count_nodes
-from repro.core.engine import prepare
+from repro.core.engine import prepare, prepare_schedule
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -59,7 +79,7 @@ def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--family",
         default="unit-disk",
-        choices=["unit-disk", "grid", "torus", "ring", "prism", "random-regular", "erdos-renyi", "lollipop", "tree"],
+        choices=["unit-disk", "grid", "torus", "ring", "prism", "random-regular", "erdos-renyi", "lollipop", "tree", "two-rings"],
         help="topology family to generate",
     )
     parser.add_argument("--size", type=int, default=30, help="number of nodes")
@@ -117,6 +137,36 @@ def build_parser() -> argparse.ArgumentParser:
     route_many_parser.add_argument(
         "--pairs", type=int, default=20, help="number of random source/target pairs"
     )
+
+    route_schedule_parser = subparsers.add_parser(
+        "route-schedule",
+        help="route random pairs over a dynamic topology schedule (extension)",
+    )
+    _add_network_arguments(route_schedule_parser)
+    route_schedule_parser.add_argument(
+        "--pairs", type=int, default=10, help="number of random source/target pairs"
+    )
+    route_schedule_parser.add_argument(
+        "--snapshots", type=int, default=4, help="number of topology snapshots"
+    )
+    route_schedule_parser.add_argument(
+        "--switch-every", type=int, default=8, help="walk steps between switch-overs"
+    )
+    route_schedule_parser.add_argument(
+        "--mutation",
+        default="relabel",
+        choices=list(SCHEDULE_MUTATIONS),
+        help="how each snapshot differs from the previous one",
+    )
+
+    conformance_parser = subparsers.add_parser(
+        "conformance",
+        help="run the differential conformance harness over the scenario matrix",
+    )
+    conformance_parser.add_argument(
+        "--pairs", type=int, default=4, help="source/target pairs per scenario"
+    )
+    conformance_parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
 
     return parser
 
@@ -199,6 +249,73 @@ def _command_route_many(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_route_schedule(args: argparse.Namespace, out) -> int:
+    spec = dataclasses.replace(
+        _scenario_from_args(args),
+        extra=(
+            ("mutation", args.mutation),
+            ("snapshots", args.snapshots),
+            ("switch_every", args.switch_every),
+        ),
+    )
+    schedule = build_schedule(spec)
+    engine = prepare_schedule(schedule)
+    # Snapshot 0 *is* the spec's base topology; no need to rebuild the
+    # scenario just to pick pairs from the same vertex set.
+    pairs = pick_source_target_pairs(schedule.snapshots[0], args.pairs, seed=args.seed)
+    started = time.perf_counter()
+    results = engine.route_many(pairs)
+    elapsed = time.perf_counter() - started
+    rows = [
+        [
+            source,
+            target,
+            result.outcome.value,
+            result.steps_taken,
+            result.switches_survived,
+            result.sound,
+        ]
+        for (source, target), result in zip(pairs, results)
+    ]
+    print(
+        format_table(
+            ["source", "target", "outcome", "steps", "switches", "sound"],
+            rows,
+            title=(
+                f"route-schedule: {len(pairs)} pairs on {args.family} (n={args.size}), "
+                f"{args.snapshots} snapshots ({args.mutation}), "
+                f"switch every {args.switch_every} steps"
+            ),
+        ),
+        file=out,
+    )
+    delivered = sum(1 for result in results if result.outcome.value == "delivered")
+    rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"delivered {delivered}/{len(pairs)}; "
+        f"{engine.num_compiled_kernels} kernels compiled for {engine.num_snapshots} "
+        f"snapshots; {elapsed:.3f}s total, {rate:.0f} routes/s",
+        file=out,
+    )
+    return 0
+
+
+def _command_conformance(args: argparse.Namespace, out) -> int:
+    report = run_conformance(pairs_per_scenario=args.pairs, seed=args.seed)
+    print(report.table(), file=out)
+    if report.ok:
+        print(f"ok: {report.checks} checks, no violations", file=out)
+        return 0
+    print(f"FAIL: {len(report.violations)} violations in {report.checks} checks", file=out)
+    for violation in report.violations[:20]:
+        print(
+            f"  {violation.scenario} {violation.router} "
+            f"{violation.source}->{violation.target}: {violation.invariant} {violation.detail}",
+            file=out,
+        )
+    return 1
+
+
 def _command_compare(args: argparse.Namespace, out) -> int:
     network = build_scenario(_scenario_from_args(args))
     graph, deployment = network.graph, network.deployment
@@ -262,6 +379,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "count": _command_count,
         "compare": _command_compare,
         "route-many": _command_route_many,
+        "route-schedule": _command_route_schedule,
+        "conformance": _command_conformance,
     }
     try:
         return handlers[args.command](args, out)

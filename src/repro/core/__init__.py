@@ -47,7 +47,14 @@ from repro.core.routing import (
 )
 from repro.core.broadcast import BroadcastResult, broadcast
 from repro.core.counting import CountingResult, count_nodes
-from repro.core.engine import PreparedNetwork, prepare, route_many
+from repro.core.engine import (
+    PreparedNetwork,
+    PreparedSchedule,
+    WalkTrace,
+    prepare,
+    prepare_schedule,
+    route_many,
+)
 from repro.core.walk_kernel import CompiledWalk
 from repro.core.hybrid import HybridResult, hybrid_route
 from repro.core.stconnectivity import ConnectivityAnswer, exploration_connectivity
@@ -82,7 +89,10 @@ __all__ = [
     "route_on_network",
     "route_many",
     "PreparedNetwork",
+    "PreparedSchedule",
+    "WalkTrace",
     "prepare",
+    "prepare_schedule",
     "CompiledWalk",
     "BroadcastResult",
     "broadcast",

@@ -27,11 +27,24 @@ same graph object.
 Results are bit-for-bit identical to the seed walkers: the kernel encodes the
 same rotation map, the step rule is unchanged, and the header accounting uses
 the same formulas.
+
+:class:`PreparedSchedule` extends the same treatment to the dynamic-topology
+extension (:mod:`repro.network.dynamics`, *not* part of the paper, which
+assumes a static network): every snapshot of a
+:class:`~repro.network.dynamics.TopologySchedule` is compiled into its walk
+kernel exactly once — rotation-identical snapshots share one kernel, and each
+compilation lands in the same per-graph cache the static engine uses — and
+the schedule walk *resumes* across switch-overs by translating the current
+virtual position between kernels in O(1) instead of re-deriving the reduction
+per call.  Outcomes are identical to
+:func:`repro.network.dynamics.reference_route_over_schedule`, the original
+per-call implementation kept as the executable specification.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.routing import (
@@ -46,7 +59,18 @@ from repro.errors import RoutingError
 from repro.graphs.degree_reduction import DegreeReducedGraph, reduce_to_three_regular
 from repro.graphs.labeled_graph import LabeledGraph
 
-__all__ = ["PreparedNetwork", "prepare", "route_many"]
+# NOTE: repro.network.dynamics is imported lazily inside PreparedSchedule.
+# A module-level import would close the cycle repro.core/__init__ -> engine ->
+# routing -> repro.network/__init__ -> dynamics -> repro.core/__init__.
+
+__all__ = [
+    "PreparedNetwork",
+    "PreparedSchedule",
+    "WalkTrace",
+    "prepare",
+    "prepare_schedule",
+    "route_many",
+]
 
 #: Per-engine bound on cached (provider, bound) offset tuples; CountNodes'
 #: doubling loop needs ~log2(n) live bounds per provider, so 32 is generous.
@@ -352,6 +376,72 @@ class PreparedNetwork:
                 return True, steps, len(offsets), bound
         return False, steps, len(offsets), bound
 
+    # ------------------------------------------------------------------ #
+    # Traced routing (golden-trace regression support)
+    # ------------------------------------------------------------------ #
+
+    def route_with_trace(
+        self,
+        source: int,
+        target: int,
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+        start_port: int = 0,
+        namespace_size: Optional[int] = None,
+    ) -> Tuple[RouteResult, "WalkTrace"]:
+        """Run :meth:`route` while recording every walk state.
+
+        Returns the exact :class:`~repro.core.routing.RouteResult` of a plain
+        :meth:`route` call together with the full ``(virtual vertex, entry
+        port)`` state sequence of both phases.  All outcome/accounting logic
+        lives in :meth:`route`; the trace is reconstructed afterwards by
+        replaying the walk's step counts through the kernel, so the two can
+        never drift apart.  The golden-trace regression tests serialize these
+        sequences into ``tests/data/`` and assert the engine reproduces them
+        bit for bit across refactors.
+        """
+        result = self.route(
+            source,
+            target,
+            provider=provider,
+            size_bound=size_bound,
+            start_port=start_port,
+            namespace_size=namespace_size,
+        )
+        kernel = self._kernel
+        offsets = self.offsets_for(result.size_bound, provider)
+
+        vertex, entry = kernel.gateway(source), start_port
+        forward_states: List[Tuple[int, int]] = [(vertex, entry)]
+        for index in range(result.forward_virtual_steps):
+            vertex, entry = kernel.step_forward(vertex, entry, offsets[index])
+            forward_states.append((vertex, entry))
+
+        backward_states: List[Tuple[int, int]] = []
+        index = result.forward_virtual_steps
+        for _ in range(result.backward_virtual_steps):
+            vertex, entry = kernel.step_backward(vertex, entry, offsets[index - 1])
+            index -= 1
+            backward_states.append((vertex, entry))
+
+        return result, WalkTrace(
+            forward=tuple(forward_states), backward=tuple(backward_states)
+        )
+
+
+@dataclass(frozen=True)
+class WalkTrace:
+    """Full ``(virtual vertex, entry port)`` state sequence of one routing walk.
+
+    ``forward`` lists every state of the forward phase, the starting state
+    included; ``backward`` lists the state reached after each backtracking
+    step.  Together they pin down the walk completely: two runs that agree on
+    both tuples took identical steps through the reduced graph.
+    """
+
+    forward: Tuple[Tuple[int, int], ...]
+    backward: Tuple[Tuple[int, int], ...]
+
 
 # ---------------------------------------------------------------------- #
 # Shared engine cache
@@ -409,3 +499,266 @@ def route_many(
         start_port=start_port,
         namespace_size=namespace_size,
     )
+
+
+# ---------------------------------------------------------------------- #
+# Schedule-aware engine (dynamic-topology extension)
+# ---------------------------------------------------------------------- #
+
+
+class PreparedSchedule:
+    """All per-schedule routing state, compiled once and resumed across switches.
+
+    **Paper vs. extension.**  The paper's model — and every guarantee it
+    proves — is *static*: "the graph does not change during the delivery
+    process".  This class belongs to the dynamic-topology *extension* of
+    :mod:`repro.network.dynamics`, which studies how the walk behaves when
+    that assumption is violated; nothing here is a claim made by the paper.
+
+    What is prepared, exactly once per schedule:
+
+    * every snapshot of the :class:`~repro.network.dynamics.TopologySchedule`
+      is compiled into a flat-array walk kernel via the shared per-graph
+      engine cache (:func:`prepare`), so a snapshot that also serves static
+      routes reuses the same compilation;
+    * snapshots that are *rotation-identical* (equal as port-labeled graphs,
+      not merely same edge set — the walk consults port labels) share one
+      kernel even when they are distinct objects;
+    * the offset tuple of the exploration sequence is materialised once per
+      ``(provider, bound)`` through the snapshot-0 engine's cache.
+
+    :meth:`route` then replays the schedule walk by *resuming* the flat-array
+    walk across switch-overs: at each switch the current virtual position is
+    translated between kernels in O(1) (owner + carried-port offset) instead
+    of re-deriving the degree reduction, which is what the pre-engine
+    implementation paid on every call.  Results are identical to
+    :func:`repro.network.dynamics.reference_route_over_schedule`, the
+    original implementation kept as the executable specification (see the
+    parity tests in ``tests/test_dynamics.py`` and the speedup benchmark in
+    ``benchmarks/bench_schedule.py``).
+    """
+
+    def __init__(
+        self,
+        schedule: "TopologySchedule",
+        default_provider_: Optional[SequenceProvider] = None,
+    ) -> None:
+        # Imported lazily to keep the module import graph acyclic (see the
+        # note next to the module imports).
+        from repro.network.dynamics import validate_schedule
+
+        validate_schedule(schedule)
+        self._schedule = schedule
+        self._default_provider = (
+            default_provider_ if default_provider_ is not None else default_provider()
+        )
+        # Rotation-identical snapshots (LabeledGraph equality is rotation-map
+        # equality) share one prepared engine; the first instance of each
+        # distinct graph goes through the shared per-graph cache.
+        engines_by_graph: Dict[LabeledGraph, PreparedNetwork] = {}
+        engines: List[PreparedNetwork] = []
+        for graph in schedule.snapshots:
+            engine = engines_by_graph.get(graph)
+            if engine is None:
+                engine = prepare(graph)
+                engines_by_graph[graph] = engine
+            engines.append(engine)
+        self._engines = engines
+        self._kernels = [engine.kernel for engine in engines]
+        self._num_compiled = len(engines_by_graph)
+
+    # ------------------------------------------------------------------ #
+    # Shared state accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schedule(self) -> "TopologySchedule":
+        """The topology schedule this engine was prepared for."""
+        return self._schedule
+
+    @property
+    def num_snapshots(self) -> int:
+        """Number of snapshots in the schedule."""
+        return len(self._schedule.snapshots)
+
+    @property
+    def num_compiled_kernels(self) -> int:
+        """Distinct kernels actually compiled (shared between equal snapshots)."""
+        return self._num_compiled
+
+    def snapshot_engine(self, index: int) -> PreparedNetwork:
+        """The prepared static engine serving snapshot ``index``."""
+        return self._engines[index]
+
+    # ------------------------------------------------------------------ #
+    # Routing over the schedule
+    # ------------------------------------------------------------------ #
+
+    def route(
+        self,
+        source: int,
+        target: int,
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+    ):
+        """Route ``source -> target`` while the topology follows the schedule.
+
+        Same contract and same results as
+        :func:`repro.network.dynamics.route_over_schedule` (which delegates
+        here); only the constant factor differs.
+        """
+        from repro.network.dynamics import DynamicOutcome, DynamicRouteResult
+
+        schedule = self._schedule
+        snapshots = schedule.snapshots
+        if not snapshots[0].has_vertex(source):
+            raise RoutingError(f"source {source!r} is not a vertex of the network")
+        engine0 = self._engines[0]
+        bound = engine0.resolve_size_bound(source, size_bound)
+        offsets = engine0.offsets_for(
+            bound, provider if provider is not None else self._default_provider
+        )
+        length = len(offsets)
+
+        switch_times = schedule.switch_times
+        kernels = self._kernels
+        num_snapshots = len(snapshots)
+
+        active = 0
+        active_graph = snapshots[0]
+        kernel = kernels[0]
+        next_vertex = kernel.next_vertex
+        next_port = kernel.next_port
+        owner = kernel.owner
+
+        vertex = kernel.gateway(source)
+        entry = 0
+        current_original = source
+        switches_survived = 0
+        steps = 0
+        direction_forward = True
+        status_failure = False
+
+        for time in range(2 * length + 2):
+            # Activate every snapshot whose switch time has passed.  A switch
+            # to a *different graph object* translates the walk position into
+            # the new kernel (owner + carried-port offset, both O(1)); a
+            # schedule that re-activates the same object is not a switch,
+            # matching the reference implementation.
+            while active + 1 < num_snapshots and time >= switch_times[active + 1]:
+                active += 1
+                new_graph = snapshots[active]
+                if new_graph is active_graph:
+                    continue
+                new_kernel = kernels[active]
+                switches_survived += 1
+                translated = kernel.translate_virtual(new_kernel, vertex)
+                if translated is None:
+                    return DynamicRouteResult(
+                        outcome=DynamicOutcome.STRANDED,
+                        steps_taken=steps,
+                        switches_survived=switches_survived,
+                        sound=False,
+                        detail=(
+                            f"degree of node {current_original} changed under the message"
+                        ),
+                    )
+                vertex = translated
+                active_graph = new_graph
+                kernel = new_kernel
+                next_vertex = kernel.next_vertex
+                next_port = kernel.next_port
+                owner = kernel.owner
+
+            if direction_forward:
+                if current_original == target:
+                    return DynamicRouteResult(
+                        outcome=DynamicOutcome.DELIVERED,
+                        steps_taken=steps,
+                        switches_survived=switches_survived,
+                        sound=True,
+                    )
+                if steps >= length:
+                    direction_forward = False
+                    status_failure = True
+                    continue
+                edge = 3 * vertex + (entry + offsets[steps]) % 3
+                vertex = next_vertex[edge]
+                entry = next_port[edge]
+                steps += 1
+            else:
+                if current_original == source or steps == 0:
+                    sound = (
+                        not schedule.always_connected(source, target)
+                        if status_failure
+                        else True
+                    )
+                    return DynamicRouteResult(
+                        outcome=DynamicOutcome.REPORTED_FAILURE,
+                        steps_taken=steps,
+                        switches_survived=switches_survived,
+                        sound=sound,
+                        detail=(
+                            ""
+                            if sound
+                            else "failure reported although a path existed throughout"
+                        ),
+                    )
+                edge = 3 * vertex + entry
+                previous_vertex = next_vertex[edge]
+                entry = (next_port[edge] - offsets[steps - 1]) % 3
+                steps -= 1
+                vertex = previous_vertex
+            current_original = owner[vertex]
+
+        return DynamicRouteResult(
+            outcome=DynamicOutcome.STRANDED,
+            steps_taken=steps,
+            switches_survived=switches_survived,
+            sound=False,
+            detail="walk did not terminate within its budget",
+        )
+
+    def route_many(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+    ) -> List[object]:
+        """Route every ``(source, target)`` pair against the prepared schedule.
+
+        The batch API for dynamic workloads: one compilation of every
+        snapshot, then a plain loop over the resumed flat-array walk.
+        """
+        return [
+            self.route(source, target, provider=provider, size_bound=size_bound)
+            for source, target in pairs
+        ]
+
+
+#: Prepared schedules keyed by ``id(schedule)``.  Entries hold the schedule
+#: strongly, so an id can never be recycled while its entry is alive; the
+#: bound keeps sweeps over many schedules from accumulating state.
+_SCHEDULE_CACHE: "OrderedDict[int, PreparedSchedule]" = OrderedDict()
+_SCHEDULE_CACHE_LIMIT = 16
+
+
+def prepare_schedule(schedule: "TopologySchedule") -> PreparedSchedule:
+    """Return the shared :class:`PreparedSchedule` for a schedule (built on demand).
+
+    Schedules are immutable, so the cache key is object identity; repeated
+    calls for the same schedule object are O(1).  The per-snapshot kernels
+    additionally land in the same per-graph cache :func:`prepare` maintains,
+    so a graph that appears both as a snapshot and as a static routing target
+    is compiled exactly once either way.
+    """
+    key = id(schedule)
+    entry = _SCHEDULE_CACHE.get(key)
+    if entry is not None and entry.schedule is schedule:
+        _SCHEDULE_CACHE.move_to_end(key)
+        return entry
+    entry = PreparedSchedule(schedule)
+    _SCHEDULE_CACHE[key] = entry
+    while len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_LIMIT:
+        _SCHEDULE_CACHE.popitem(last=False)
+    return entry

@@ -152,6 +152,27 @@ class CompiledWalk:
         """Vertex reached by leaving ``virtual_vertex`` through ``port``."""
         return self.next_vertex[3 * virtual_vertex + port]
 
+    def translate_virtual(
+        self, other: "CompiledWalk", virtual_vertex: int
+    ) -> Optional[int]:
+        """Carry a walk position into another kernel over the same vertex set.
+
+        A virtual position is meaningful across topology snapshots as the pair
+        *(owner, carried physical port)*: the virtual node of the same original
+        vertex that occupies the same offset inside its cluster.  Returns the
+        corresponding virtual vertex of ``other``, or ``None`` when the owner's
+        degree differs between the two reductions — the cluster shapes no
+        longer correspond and the walk is stranded.  This is the O(1) switch-
+        over primitive of the schedule-aware engine
+        (:class:`repro.core.engine.PreparedSchedule`).
+        """
+        original = self.owner[virtual_vertex]
+        own_cluster = self.reduction.cluster(original)
+        other_cluster = other.reduction.cluster(original)
+        if len(own_cluster) != len(other_cluster):
+            return None
+        return other_cluster[self.physical_port[virtual_vertex]]
+
     # ------------------------------------------------------------------ #
     # Walk primitives (semantics identical to repro.core.exploration)
     # ------------------------------------------------------------------ #

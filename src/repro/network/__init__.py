@@ -27,7 +27,9 @@ from repro.network.dynamics import (
     DynamicOutcome,
     DynamicRouteResult,
     TopologySchedule,
+    route_many_over_schedule,
     route_over_schedule,
+    validate_schedule,
 )
 
 __all__ = [
@@ -49,5 +51,7 @@ __all__ = [
     "DynamicOutcome",
     "DynamicRouteResult",
     "TopologySchedule",
+    "route_many_over_schedule",
     "route_over_schedule",
+    "validate_schedule",
 ]

@@ -16,6 +16,14 @@ flagged in DESIGN.md §6:
   walk's current edge disappeared — the clean detection of a model violation),
   or silently wrong (a failure report even though a path existed throughout).
 
+Since PR 2 the replay itself is executed by the schedule-aware prepared
+engine (:class:`repro.core.engine.PreparedSchedule`): every snapshot is
+compiled into a flat-array walk kernel once and the walk *resumes* across
+switch-overs instead of re-deriving the reduction per call.
+:func:`reference_route_over_schedule` keeps the original, dict-backed
+implementation as the executable specification; the engine is tested (and
+benchmarked, see ``benchmarks/bench_schedule.py``) against it step for step.
+
 The results are used by tests and by downstream users who want to know how far
 the static-model guarantee stretches; they are *not* claims made by the paper.
 """
@@ -24,7 +32,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.exploration import WalkState, step_backward, step_forward
 from repro.core.universal import SequenceProvider
@@ -33,7 +41,15 @@ from repro.graphs.connectivity import are_connected, connected_component
 from repro.graphs.degree_reduction import DegreeReducedGraph, reduce_to_three_regular
 from repro.graphs.labeled_graph import LabeledGraph
 
-__all__ = ["TopologySchedule", "DynamicOutcome", "DynamicRouteResult", "route_over_schedule"]
+__all__ = [
+    "TopologySchedule",
+    "DynamicOutcome",
+    "DynamicRouteResult",
+    "validate_schedule",
+    "route_over_schedule",
+    "route_many_over_schedule",
+    "reference_route_over_schedule",
+]
 
 
 class DynamicOutcome(enum.Enum):
@@ -58,15 +74,7 @@ class TopologySchedule:
     switch_times: Tuple[int, ...]
 
     def __post_init__(self) -> None:
-        if len(self.snapshots) != len(self.switch_times) or not self.snapshots:
-            raise GraphStructureError("need one switch time per snapshot (and at least one)")
-        if self.switch_times[0] != 0:
-            raise GraphStructureError("the first snapshot must start at time 0")
-        if any(b <= a for a, b in zip(self.switch_times, self.switch_times[1:])):
-            raise GraphStructureError("switch times must be strictly increasing")
-        vertex_sets = {tuple(graph.vertices) for graph in self.snapshots}
-        if len(vertex_sets) != 1:
-            raise GraphStructureError("all snapshots must share the same vertex set")
+        validate_schedule(self)
 
     @classmethod
     def static(cls, graph: LabeledGraph) -> "TopologySchedule":
@@ -93,6 +101,33 @@ class TopologySchedule:
         return all(are_connected(graph, source, target) for graph in self.snapshots)
 
 
+def validate_schedule(schedule: TopologySchedule) -> None:
+    """Check every :class:`TopologySchedule` invariant, raising on violation.
+
+    ``TopologySchedule.__post_init__`` runs these checks on construction, but
+    the routing entry points re-validate explicitly so that schedules built
+    around the constructor (``dataclasses.replace`` on a subclass that skips
+    ``__post_init__``, direct ``object.__setattr__`` surgery, duck-typed
+    stand-ins, ...) fail loudly with a :class:`~repro.errors.GraphStructureError`
+    instead of silently walking an inconsistent timeline — in particular
+    unsorted ``switch_times``, which previously made ``active_at`` jump
+    backwards in time mid-walk.
+    """
+    snapshots = tuple(schedule.snapshots)
+    switch_times = tuple(schedule.switch_times)
+    if len(snapshots) != len(switch_times) or not snapshots:
+        raise GraphStructureError("need one switch time per snapshot (and at least one)")
+    if switch_times[0] != 0:
+        raise GraphStructureError("the first snapshot must start at time 0")
+    if any(b <= a for a, b in zip(switch_times, switch_times[1:])):
+        raise GraphStructureError(
+            f"switch times must be strictly increasing, got {switch_times!r}"
+        )
+    vertex_sets = {tuple(graph.vertices) for graph in snapshots}
+    if len(vertex_sets) != 1:
+        raise GraphStructureError("all snapshots must share the same vertex set")
+
+
 @dataclass(frozen=True)
 class DynamicRouteResult:
     """Outcome of routing over a topology schedule."""
@@ -113,17 +148,69 @@ def route_over_schedule(
 ) -> DynamicRouteResult:
     """Run the routing walk while the underlying topology follows ``schedule``.
 
-    Every step consults the *currently active* snapshot: the reduction of the
-    active graph is recomputed at each switch (each physical node only ever
-    needs its own, local part of it).  A step whose exit port no longer exists
-    — the link vanished under the message — strands the walk, which is
-    reported as such rather than papered over.
+    Every step consults the *currently active* snapshot.  A step whose exit
+    port no longer exists — the link vanished under the message — strands the
+    walk, which is reported as such rather than papered over.
 
     ``sound`` in the result records whether the verdict the source would
     receive is *semantically correct*: delivery is always sound; a failure
     report is sound only if source and target were indeed disconnected in at
     least one snapshot; stranding is never sound (the source learns nothing).
+
+    The walk runs on the schedule-aware prepared engine: each snapshot's
+    degree reduction and flat-array kernel are compiled once (shared between
+    rotation-identical snapshots and with the static per-graph engine cache)
+    and the walk state is carried across switch-overs, so repeated calls over
+    one schedule pay only for the walk itself.  Results are identical to
+    :func:`reference_route_over_schedule`, the original per-call
+    implementation kept as the executable specification.
     """
+    validate_schedule(schedule)
+    # Imported lazily: the engine imports repro.core.routing, which imports
+    # the network package, so a module-level import here would be circular.
+    from repro.core.engine import prepare_schedule
+
+    return prepare_schedule(schedule).route(
+        source, target, provider=provider, size_bound=size_bound
+    )
+
+
+def route_many_over_schedule(
+    schedule: TopologySchedule,
+    pairs: Iterable[Tuple[int, int]],
+    provider: Optional[SequenceProvider] = None,
+    size_bound: Optional[int] = None,
+) -> List[DynamicRouteResult]:
+    """Route every ``(source, target)`` pair over one prepared schedule.
+
+    The batch counterpart of :func:`route_over_schedule`: the per-snapshot
+    compilation is paid once for the whole batch.
+    """
+    validate_schedule(schedule)
+    from repro.core.engine import prepare_schedule
+
+    return prepare_schedule(schedule).route_many(
+        pairs, provider=provider, size_bound=size_bound
+    )
+
+
+def reference_route_over_schedule(
+    schedule: TopologySchedule,
+    source: int,
+    target: int,
+    provider: Optional[SequenceProvider] = None,
+    size_bound: Optional[int] = None,
+) -> DynamicRouteResult:
+    """The original dict-backed schedule walker, kept as executable spec.
+
+    This is the pre-engine implementation of :func:`route_over_schedule`,
+    byte-for-byte in behaviour: it re-derives the source's component bound on
+    every call and steps the walk through the dict-of-tuples rotation map.
+    The schedule-aware engine must agree with it on every schedule — the
+    parity tests in ``tests/test_dynamics.py`` and the speedup benchmark in
+    ``benchmarks/bench_schedule.py`` both compare against this function.
+    """
+    validate_schedule(schedule)
     base_graph = schedule.snapshots[0]
     if not base_graph.has_vertex(source):
         raise RoutingError(f"source {source!r} is not a vertex of the network")
@@ -134,15 +221,17 @@ def route_over_schedule(
         from repro.core.routing import default_provider
 
         provider = default_provider()
-    # Snapshot reductions come from the shared prepared-engine cache, so
-    # repeated attempts over the same schedule (sweeps, parameter studies)
-    # reduce each snapshot only once.  Imported lazily for the same
-    # circularity reason as the provider above.
-    from repro.core.engine import prepare
-
-    reductions: List[DegreeReducedGraph] = [
-        prepare(graph).reduction for graph in schedule.snapshots
-    ]
+    # One reduction per distinct snapshot *object* (schedules that repeat a
+    # graph object share its reduction, so re-activating it never registers as
+    # a switch — the behaviour the engine must reproduce).
+    reductions_by_id: dict = {}
+    reductions: List[DegreeReducedGraph] = []
+    for graph in schedule.snapshots:
+        cached = reductions_by_id.get(id(graph))
+        if cached is None:
+            cached = reduce_to_three_regular(graph)
+            reductions_by_id[id(graph)] = cached
+        reductions.append(cached)
     if size_bound is None:
         size_bound = len(
             connected_component(reductions[0].graph, reductions[0].gateway(source))

@@ -100,3 +100,69 @@ def test_dimension_flag_accepts_3d():
     )
     assert status == 0
     assert "outcome" in output
+
+
+def test_route_many_command_reports_throughput():
+    status, output = _run(
+        ["route-many", "--family", "grid", "--size", "16", "--pairs", "4", "--seed", "2"]
+    )
+    assert status == 0
+    assert "delivered 4/4" in output
+    assert "routes/s" in output
+
+
+def test_route_schedule_command_routes_over_snapshots():
+    status, output = _run(
+        [
+            "route-schedule",
+            "--family", "grid",
+            "--size", "16",
+            "--pairs", "4",
+            "--snapshots", "3",
+            "--switch-every", "5",
+            "--mutation", "relabel",
+            "--seed", "1",
+        ]
+    )
+    assert status == 0
+    assert "route-schedule: 4 pairs" in output
+    assert "3 kernels compiled for 3 snapshots" in output
+    assert "delivered" in output
+
+
+def test_route_schedule_command_static_mutation_shares_kernels():
+    status, output = _run(
+        [
+            "route-schedule",
+            "--family", "ring",
+            "--size", "8",
+            "--pairs", "2",
+            "--snapshots", "4",
+            "--mutation", "static",
+        ]
+    )
+    assert status == 0
+    assert "1 kernels compiled for 4 snapshots" in output
+
+
+def test_route_schedule_command_two_rings_reports_failure():
+    status, output = _run(
+        [
+            "route-schedule",
+            "--family", "two-rings",
+            "--size", "8",
+            "--pairs", "6",
+            "--snapshots", "2",
+            "--mutation", "relabel",
+        ]
+    )
+    assert status == 0
+    # With two components some random pairs must fail — and soundly so.
+    assert "delivered" in output
+
+
+def test_conformance_command_passes_on_default_matrix():
+    status, output = _run(["conformance", "--pairs", "2", "--seed", "0"])
+    assert status == 0
+    assert "differential conformance" in output
+    assert "no violations" in output

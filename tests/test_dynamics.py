@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.errors import GraphStructureError
@@ -10,12 +12,23 @@ from repro.graphs.labeled_graph import LabeledGraph
 from repro.network.dynamics import (
     DynamicOutcome,
     TopologySchedule,
+    reference_route_over_schedule,
+    route_many_over_schedule,
     route_over_schedule,
+    validate_schedule,
 )
 
 
 def _ring(n):
     return generators.cycle_graph(n)
+
+
+def _bypassed_schedule(snapshots, switch_times):
+    """Build a TopologySchedule without running __post_init__ validation."""
+    schedule = object.__new__(TopologySchedule)
+    object.__setattr__(schedule, "snapshots", snapshots)
+    object.__setattr__(schedule, "switch_times", switch_times)
+    return schedule
 
 
 def test_schedule_validation():
@@ -125,3 +138,96 @@ def test_unknown_source_raises(provider):
 
     with pytest.raises(RoutingError):
         route_over_schedule(schedule, 99, 0, provider=provider)
+
+
+# --------------------------------------------------------------------------- #
+# Entry-point re-validation (schedules built around the constructor)
+# --------------------------------------------------------------------------- #
+
+
+def test_route_over_schedule_rejects_unsorted_switch_times(provider):
+    """A schedule smuggled past __post_init__ with unsorted switch times must
+    raise GraphStructureError instead of silently walking a broken timeline."""
+    ring = _ring(4)
+    bad = _bypassed_schedule((ring, ring, ring), (0, 9, 5))
+    with pytest.raises(GraphStructureError, match="strictly increasing"):
+        route_over_schedule(bad, 0, 2, provider=provider)
+    with pytest.raises(GraphStructureError, match="strictly increasing"):
+        route_many_over_schedule(bad, [(0, 2)], provider=provider)
+    with pytest.raises(GraphStructureError, match="strictly increasing"):
+        reference_route_over_schedule(bad, 0, 2, provider=provider)
+
+
+def test_route_over_schedule_rejects_other_bypassed_invariants(provider):
+    ring = _ring(4)
+    with pytest.raises(GraphStructureError):
+        route_over_schedule(_bypassed_schedule((), ()), 0, 1, provider=provider)
+    with pytest.raises(GraphStructureError):
+        route_over_schedule(
+            _bypassed_schedule((ring, ring), (0,)), 0, 1, provider=provider
+        )
+    with pytest.raises(GraphStructureError):
+        route_over_schedule(_bypassed_schedule((ring,), (5,)), 0, 1, provider=provider)
+    with pytest.raises(GraphStructureError):
+        route_over_schedule(
+            _bypassed_schedule((ring, _ring(5)), (0, 3)), 0, 1, provider=provider
+        )
+
+
+def test_validate_schedule_accepts_valid_schedules():
+    schedule = TopologySchedule(snapshots=(_ring(4), _ring(4)), switch_times=(0, 10))
+    validate_schedule(schedule)  # must not raise
+
+
+# --------------------------------------------------------------------------- #
+# Schedule-aware engine vs the reference (pre-engine) walker
+# --------------------------------------------------------------------------- #
+
+
+def _parity_schedules():
+    base = generators.grid_graph(3, 3)
+    relabeled_1 = base.with_relabeled_ports(random.Random(3))
+    relabeled_2 = relabeled_1.with_relabeled_ports(random.Random(5))
+    ring_before = generators.cycle_graph(6)
+    ring_after = LabeledGraph.from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], vertices=range(6)
+    )
+    split = generators.disjoint_union(
+        [generators.cycle_graph(5), generators.cycle_graph(4)]
+    )
+    return [
+        TopologySchedule.static(base),
+        TopologySchedule.static(split),
+        TopologySchedule((base, relabeled_1, relabeled_2), (0, 4, 9)),
+        # Re-activating the same object is not a switch; equal-but-distinct
+        # objects are.
+        TopologySchedule((base, relabeled_1, base), (0, 3, 6)),
+        TopologySchedule((base, generators.grid_graph(3, 3)), (0, 5)),
+        TopologySchedule((ring_before, ring_after), (0, 3)),
+    ]
+
+
+def test_engine_matches_reference_walker_everywhere(provider):
+    """The schedule-aware engine must agree with the executable specification
+    result-for-result (outcome, steps, switches, soundness, detail)."""
+    for schedule in _parity_schedules():
+        vertices = list(schedule.snapshots[0].vertices)
+        for source in vertices[:3]:
+            for target in vertices[:5]:
+                engine_result = route_over_schedule(
+                    schedule, source, target, provider=provider
+                )
+                reference = reference_route_over_schedule(
+                    schedule, source, target, provider=provider
+                )
+                assert engine_result == reference, (schedule, source, target)
+
+
+def test_route_many_over_schedule_matches_single_calls(provider):
+    schedule = _parity_schedules()[2]
+    pairs = [(0, 8), (0, 4), (1, 7), (2, 2)]
+    batch = route_many_over_schedule(schedule, pairs, provider=provider)
+    singles = [
+        route_over_schedule(schedule, s, t, provider=provider) for s, t in pairs
+    ]
+    assert batch == singles
