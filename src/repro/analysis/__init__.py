@@ -1,10 +1,13 @@
 """Analysis and experiment-harness utilities.
 
 The modules here turn raw algorithm outputs (route results, baseline
-attempts, simulation traces) into the summary rows the benchmark harness
-prints for each experiment of EXPERIMENTS.md: delivery rates, hop counts,
-stretch against the shortest path, header overhead and memory usage, with
-basic statistics over repeated trials and a plain-text table renderer.
+attempts, simulation traces) into summary rows for the benchmark and report
+tables: delivery rates, hop counts, stretch against the shortest path,
+header overhead and memory usage, with basic statistics over repeated
+trials and a plain-text table renderer.  On top of that sit the scenario
+harness (:mod:`repro.analysis.experiments`), the sharded parallel sweep
+orchestrator (:mod:`repro.analysis.runner`) and the differential
+conformance suite (:mod:`repro.analysis.conformance`).
 """
 
 from repro.analysis.metrics import (
@@ -18,13 +21,24 @@ from repro.analysis.statistics import SummaryStats, summarize
 from repro.analysis.reporting import format_table, format_markdown_table
 from repro.analysis.experiments import (
     ExperimentResult,
+    ExperimentTable,
     ScenarioSpec,
     build_scenario,
     build_schedule,
     dynamic_schedule_scenarios,
+    reference_run_parameter_sweep,
     run_parameter_sweep,
     structured_scenarios,
     unit_disk_scenarios,
+)
+from repro.analysis.runner import (
+    SweepOutcome,
+    SweepPlan,
+    SweepShard,
+    evaluate_shard,
+    plan_sweep,
+    run_sweep,
+    shard_seed,
 )
 from repro.analysis.conformance import (
     ConformanceReport,
@@ -44,13 +58,22 @@ __all__ = [
     "format_table",
     "format_markdown_table",
     "ExperimentResult",
+    "ExperimentTable",
     "ScenarioSpec",
     "build_scenario",
     "build_schedule",
     "dynamic_schedule_scenarios",
+    "reference_run_parameter_sweep",
     "run_parameter_sweep",
     "structured_scenarios",
     "unit_disk_scenarios",
+    "SweepOutcome",
+    "SweepPlan",
+    "SweepShard",
+    "evaluate_shard",
+    "plan_sweep",
+    "run_sweep",
+    "shard_seed",
     "ConformanceReport",
     "ConformanceViolation",
     "default_conformance_matrix",

@@ -28,6 +28,12 @@ synchronous idealisation" advice looks like in code: one place where every
 implementation is confronted with every scenario family, so a divergence
 introduced by an optimisation shows up as a named invariant violation rather
 than a silently different benchmark number.
+
+Scenarios are independent of each other, so :func:`run_conformance` can shard
+them across worker processes (``workers > 1``) through the same pool helper
+the sweep orchestrator uses (:func:`repro.analysis.runner.parallel_map`);
+per-scenario fragments are merged in scenario order, so the report is
+identical to a serial run.
 """
 
 from __future__ import annotations
@@ -41,8 +47,10 @@ from repro.analysis.experiments import (
     build_scenario,
     build_schedule,
     dynamic_schedule_scenarios,
+    is_dynamic_scenario,
     pick_source_target_pairs,
 )
+from repro.analysis.runner import parallel_map
 from repro.analysis.reporting import format_table
 from repro.baselines import applicable_routers
 from repro.core.engine import prepare, prepare_schedule
@@ -64,6 +72,9 @@ __all__ = [
 #: Skip the (slow, per-event bit-accounted) distributed realisation when the
 #: exploration sequence is longer than this; the walkers are still compared.
 _DISTRIBUTED_LENGTH_CAP = 30_000
+
+#: Columns of the per-(scenario, router) summary table.
+_REPORT_HEADERS = ("scenario", "router", "pairs", "delivered", "detected", "violations")
 
 
 @dataclass(frozen=True)
@@ -147,10 +158,6 @@ def default_conformance_matrix() -> List[ScenarioSpec]:
     return scenarios
 
 
-def _is_dynamic(spec: ScenarioSpec) -> bool:
-    return any(key in ("snapshots", "mutation", "switch_every") for key, _ in spec.extra)
-
-
 class _Tally:
     """Per-(scenario, router) counters feeding the report rows."""
 
@@ -161,11 +168,25 @@ class _Tally:
         self.violations = 0
 
 
+def _scenario_fragment(
+    task: Tuple[ScenarioSpec, int, int, Optional[SequenceProvider]],
+) -> ConformanceReport:
+    """Check one scenario; return its report fragment (runs in any process)."""
+    spec, pairs_per_scenario, seed, provider = task
+    fragment = ConformanceReport(headers=list(_REPORT_HEADERS))
+    if is_dynamic_scenario(spec):
+        _check_dynamic_scenario(spec, pairs_per_scenario, seed, provider, fragment)
+    else:
+        _check_static_scenario(spec, pairs_per_scenario, seed, provider, fragment)
+    return fragment
+
+
 def run_conformance(
     scenarios: Optional[Sequence[ScenarioSpec]] = None,
     pairs_per_scenario: int = 4,
     seed: int = 0,
     provider: Optional[SequenceProvider] = None,
+    workers: int = 1,
 ) -> ConformanceReport:
     """Run the differential conformance pass over ``scenarios``.
 
@@ -174,15 +195,23 @@ def run_conformance(
     scenario, router, pair and the rule it broke.  The returned report is
     table-renderable and ``report.ok`` is the single go/no-go flag the test
     suite asserts.
+
+    ``workers > 1`` shards the scenarios over a process pool (each scenario
+    checked exactly as on the serial path, in its own worker) and merges the
+    fragments in scenario order — the report is identical to a serial run.
+    A non-default ``provider`` must then be picklable *and* deterministic per
+    bound: a provider that mutates cross-call state to vary its sequences
+    would see that state reset in every worker and silently diverge from the
+    serial report.
     """
-    report = ConformanceReport(
-        headers=["scenario", "router", "pairs", "delivered", "detected", "violations"]
-    )
-    for spec in scenarios if scenarios is not None else default_conformance_matrix():
-        if _is_dynamic(spec):
-            _check_dynamic_scenario(spec, pairs_per_scenario, seed, provider, report)
-        else:
-            _check_static_scenario(spec, pairs_per_scenario, seed, provider, report)
+    specs = list(scenarios) if scenarios is not None else default_conformance_matrix()
+    tasks = [(spec, pairs_per_scenario, seed, provider) for spec in specs]
+    fragments = parallel_map(_scenario_fragment, tasks, workers)
+    report = ConformanceReport(headers=list(_REPORT_HEADERS))
+    for fragment in fragments:
+        report.rows.extend(fragment.rows)
+        report.violations.extend(fragment.violations)
+        report.checks += fragment.checks
     return report
 
 

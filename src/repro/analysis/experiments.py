@@ -14,6 +14,16 @@ topology by applying a per-snapshot mutation (``relabel`` permutes port
 labels, ``drop-edge`` removes a link, ``static`` repeats the base graph),
 which is the workload the schedule-aware engine and the conformance harness
 exercise.
+
+**Serial reference vs. parallel split.**
+:func:`reference_run_parameter_sweep` is the executable specification of a
+sweep: one process, scenarios in order, rows in order — it is never edited
+for speed.  :func:`run_parameter_sweep` keeps that exact behaviour for
+``workers <= 1`` and otherwise shards the scenario grid over a process pool
+via :mod:`repro.analysis.runner`, with the guarantee that the aggregated
+:class:`ExperimentResult` is row-for-row identical to the reference.  The
+same runner module provides the full scenario × router sweep orchestrator
+(`plan_sweep` / `run_sweep`) with JSONL streaming and crash-safe resume.
 """
 
 from __future__ import annotations
@@ -30,8 +40,13 @@ from repro.network.adhoc import AdHocNetwork, build_graph_network, build_unit_di
 from repro.network.dynamics import TopologySchedule
 
 __all__ = [
+    "SCENARIO_FAMILIES",
+    "SCHEDULE_MUTATIONS",
     "ScenarioSpec",
     "ExperimentResult",
+    "ExperimentTable",
+    "reference_run_parameter_sweep",
+    "is_dynamic_scenario",
     "build_scenario",
     "build_schedule",
     "unit_disk_scenarios",
@@ -43,6 +58,34 @@ __all__ = [
 
 #: Snapshot mutations understood by :func:`build_schedule`.
 SCHEDULE_MUTATIONS = ("static", "relabel", "drop-edge")
+
+#: Topology families :func:`build_scenario` understands — the canonical list
+#: the CLI's ``--family``/``--families`` choices are derived from.
+SCENARIO_FAMILIES = (
+    "unit-disk",
+    "grid",
+    "torus",
+    "ring",
+    "prism",
+    "random-regular",
+    "erdos-renyi",
+    "lollipop",
+    "tree",
+    "two-rings",
+)
+
+#: ``extra`` keys that mark a spec as a dynamic-schedule scenario.
+_SCHEDULE_KEYS = ("snapshots", "mutation", "switch_every")
+
+
+def is_dynamic_scenario(spec: "ScenarioSpec") -> bool:
+    """True when the spec describes a dynamic-schedule scenario.
+
+    The single source of truth for the distinction: the sweep planner routes
+    dynamic specs through the schedule walker and the conformance harness
+    checks them against the dynamic invariants.
+    """
+    return any(key in _SCHEDULE_KEYS for key, _ in spec.extra)
 
 
 @dataclass(frozen=True)
@@ -88,6 +131,11 @@ class ExperimentResult:
                 f"experiment {self.experiment!r}: row width {len(row)} != {len(self.headers)}"
             )
         self.rows.append(list(row))
+
+
+#: The sweep orchestrator and its docs call the aggregated result an
+#: *experiment table*; both names refer to the same class.
+ExperimentTable = ExperimentResult
 
 
 def build_scenario(spec: ScenarioSpec) -> AdHocNetwork:
@@ -310,16 +358,54 @@ def pick_source_target_pairs(
     return chosen
 
 
-def run_parameter_sweep(
+def reference_run_parameter_sweep(
     experiment: str,
     headers: Sequence[str],
     scenarios: Sequence[ScenarioSpec],
     evaluate: Callable[[ScenarioSpec, AdHocNetwork], Iterable[Sequence[object]]],
 ) -> ExperimentResult:
-    """Build every scenario and collect the rows ``evaluate`` produces for it."""
+    """Build every scenario and collect the rows ``evaluate`` produces for it.
+
+    This is the executable specification of a parameter sweep — one process,
+    scenarios in order, rows in order.  The parallel path of
+    :func:`run_parameter_sweep` must reproduce its output row for row.
+    """
     result = ExperimentResult(experiment=experiment, headers=list(headers))
     for spec in scenarios:
         network = build_scenario(spec)
         for row in evaluate(spec, network):
+            result.add_row(row)
+    return result
+
+
+def run_parameter_sweep(
+    experiment: str,
+    headers: Sequence[str],
+    scenarios: Sequence[ScenarioSpec],
+    evaluate: Callable[[ScenarioSpec, AdHocNetwork], Iterable[Sequence[object]]],
+    workers: int = 1,
+) -> ExperimentResult:
+    """Run a parameter sweep, optionally sharded across worker processes.
+
+    ``workers <= 1`` delegates to :func:`reference_run_parameter_sweep`
+    unchanged.  ``workers > 1`` builds and evaluates every scenario in a
+    process pool (one task per scenario, each worker building its scenario
+    locally and reusing the per-process prepared-engine caches) and
+    aggregates the per-scenario row groups in scenario order, so the result
+    is row-for-row identical to the serial reference.  The parallel path
+    requires ``evaluate`` to be picklable — a module-level function, not a
+    closure or lambda — and deterministic per ``(spec, network)``: a function
+    that carries state across calls (a shared RNG, an accumulating counter)
+    would see that state reset per worker and silently diverge from the
+    serial reference.
+    """
+    if workers <= 1:
+        return reference_run_parameter_sweep(experiment, headers, scenarios, evaluate)
+    # Imported lazily: runner imports this module for the spec/table types.
+    from repro.analysis.runner import map_scenario_rows
+
+    result = ExperimentResult(experiment=experiment, headers=list(headers))
+    for rows in map_scenario_rows(evaluate, scenarios, workers):
+        for row in rows:
             result.add_row(row)
     return result

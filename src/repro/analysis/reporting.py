@@ -1,7 +1,13 @@
-"""Plain-text and Markdown table rendering for benchmark output.
+"""Plain-text and Markdown table rendering for experiment output.
 
-Every benchmark module prints its reproduction table through these helpers so
-EXPERIMENTS.md and the console output stay visually consistent.
+Every consumer of an :class:`~repro.analysis.experiments.ExperimentResult`
+renders through these helpers: the benchmark modules (which persist their
+reproduction tables under ``benchmarks/output/``), the CLI subcommands, the
+conformance report, and the sweep orchestrator's aggregated tables — so the
+console output stays visually consistent everywhere.  Rendering is pure
+formatting: a table renders identically whether its rows came from the
+serial reference sweep or were aggregated from a parallel run's JSONL
+stream.
 """
 
 from __future__ import annotations

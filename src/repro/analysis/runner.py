@@ -1,0 +1,632 @@
+"""Sharded parallel sweep orchestrator over the scenario × router grid.
+
+:func:`repro.analysis.experiments.run_parameter_sweep` walks its scenario
+grid one instance at a time in one process; for the repeated-route workloads
+the repository targets, the grid is embarrassingly parallel: every
+(scenario, router) cell builds its own network and routes its own pairs, and
+nothing flows between cells until the report table is assembled.  This module
+shards that grid across a process pool:
+
+* :func:`plan_sweep` expands scenarios × routers into a deterministic tuple
+  of :class:`SweepShard` descriptors.  Each shard carries its *own* trial
+  seed, derived from the master seed and the shard identity with
+  :func:`shard_seed`, so the rows a shard produces do not depend on which
+  worker runs it or in which order shards complete.
+* :func:`evaluate_shard` is the worker body: it builds the shard's scenario
+  locally (specs are tiny and picklable; graphs are not shipped between
+  processes).  A per-process spec-keyed scenario cache plus the shared
+  :func:`repro.core.engine.prepare` / ``prepare_schedule`` engine caches mean
+  that shards over the same spec — one scenario routed by several routers —
+  build and compile their graph once per worker process.
+* :func:`run_sweep` executes a plan.  ``workers <= 1`` runs the shards
+  serially in-process — this is the executable reference the parallel path
+  must match row for row.  ``workers > 1`` submits shards to a
+  ``ProcessPoolExecutor`` and streams each shard's rows to a JSONL file as it
+  completes (one flushed line per shard, so a crash loses at most the shards
+  still in flight).  Rerunning with ``resume=True`` skips every shard whose
+  record is already on disk; a partial trailing line from a killed run is
+  ignored.  Aggregation always replays the shards in plan order, so the
+  resulting :class:`~repro.analysis.experiments.ExperimentResult` is
+  row-for-row identical to a serial run with the same master seed, whatever
+  the completion order was.
+
+The CLI front end is ``python -m repro sweep`` (see ``docs/cli.md``);
+``benchmarks/bench_sweep.py`` measures the scaling and asserts aggregate
+equality with the serial reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from collections import Counter, OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    ScenarioSpec,
+    build_scenario,
+    build_schedule,
+    is_dynamic_scenario,
+    pick_source_target_pairs,
+)
+from repro.baselines import ALL_ROUTER_SPECS, router_applies
+from repro.core.engine import clear_prepared_caches, prepare, prepare_schedule
+from repro.core.routing import RouteOutcome
+from repro.errors import ExperimentError
+from repro.network.dynamics import DynamicOutcome
+
+__all__ = [
+    "ENGINE_ROUTER",
+    "SCHEDULE_ROUTER",
+    "SWEEP_HEADERS",
+    "SWEEP_ROUTERS",
+    "SweepShard",
+    "SweepPlan",
+    "SweepOutcome",
+    "shard_seed",
+    "plan_sweep",
+    "evaluate_shard",
+    "run_sweep",
+    "parallel_map",
+    "map_scenario_rows",
+]
+
+#: Router name of the prepared engine (the guaranteed router's fast path).
+ENGINE_ROUTER = "ues-engine"
+
+#: Router name used for dynamic-schedule scenarios (the extension's walker).
+SCHEDULE_ROUTER = "ues-schedule"
+
+#: Columns of the standard sweep table, in row order.
+SWEEP_HEADERS: Tuple[str, ...] = (
+    "scenario",
+    "family",
+    "size",
+    "router",
+    "source",
+    "target",
+    "delivered",
+    "detected",
+    "hops",
+    "steps",
+)
+
+#: Every router name :func:`plan_sweep` accepts for static scenarios.
+SWEEP_ROUTERS: Tuple[str, ...] = (ENGINE_ROUTER,) + tuple(
+    spec.name for spec in ALL_ROUTER_SPECS
+)
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def shard_seed(master_seed: int, *labels: object) -> int:
+    """Deterministic per-shard trial seed: hash of master seed + identity.
+
+    A stable cryptographic digest (not Python's randomised ``hash``) keyed by
+    the shard's identity labels, so every process — serial reference, any
+    worker, any rerun — derives the identical seed for the same shard.
+    """
+    payload = repr((master_seed,) + labels).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class SweepShard:
+    """One cell of the sweep grid: a scenario routed by one router.
+
+    ``seed`` is the shard's private trial seed (pair selection, randomised
+    baselines), already derived from the plan's master seed — workers never
+    see the master seed and cannot depend on global RNG state.
+    """
+
+    index: int
+    spec: ScenarioSpec
+    router: str
+    pairs: int
+    seed: int
+
+    @property
+    def key(self) -> str:
+        """Human-readable shard label (for JSONL records and progress)."""
+        return f"{self.spec.name}:{self.router}"
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A fully expanded sweep: the shard tuple plus the table schema."""
+
+    experiment: str
+    headers: Tuple[str, ...]
+    shards: Tuple[SweepShard, ...]
+    master_seed: int
+
+    def fingerprint(self) -> str:
+        """Stable digest of the whole plan (used to guard ``--resume``).
+
+        Two plans fingerprint equally iff they would execute the same shards
+        and produce the same table schema, so resuming against a JSONL file
+        written by a *different* sweep is rejected instead of silently
+        merging unrelated rows.  Streaming/resume therefore needs every
+        scenario parameter to be JSON-serializable — an unstable fallback
+        repr (memory addresses change per process) would make a plan reject
+        its own stream on every rerun, so non-serializable extras raise
+        instead.
+        """
+        payload = {
+            "experiment": self.experiment,
+            "headers": list(self.headers),
+            "master_seed": self.master_seed,
+            "shards": [
+                {
+                    "index": shard.index,
+                    "spec": dataclasses.asdict(shard.spec),
+                    "router": shard.router,
+                    "pairs": shard.pairs,
+                    "seed": shard.seed,
+                }
+                for shard in self.shards
+            ],
+        }
+        try:
+            canonical = json.dumps(payload, sort_keys=True)
+        except (TypeError, ValueError) as error:
+            raise ExperimentError(
+                "cannot fingerprint this sweep plan: streaming/resume needs "
+                f"JSON-serializable scenario parameters ({error})"
+            )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class SweepOutcome:
+    """What :func:`run_sweep` did: the aggregated table plus shard accounting."""
+
+    table: ExperimentResult
+    shards_total: int
+    shards_skipped: int
+    shards_executed: int
+    out_path: Optional[str] = None
+
+
+def _router_by_name(name: str):
+    for router in ALL_ROUTER_SPECS:
+        if router.name == name:
+            return router
+    raise ExperimentError(f"unknown sweep router {name!r}")
+
+
+def _router_applies(name: str, spec: ScenarioSpec) -> bool:
+    """Static applicability check — no scenario is built at planning time.
+
+    Delegates to the shared policy :func:`repro.baselines.router_applies`;
+    only the "does this scenario have positions" question is answered from
+    the spec (``unit-disk`` is the one family that deploys nodes) instead of
+    from a built network.
+    """
+    if name == ENGINE_ROUTER:
+        return True
+    return router_applies(
+        _router_by_name(name), spec.family == "unit-disk", spec.dimension
+    )
+
+
+def plan_sweep(
+    scenarios: Sequence[ScenarioSpec],
+    routers: Sequence[str] = (ENGINE_ROUTER,),
+    pairs: int = 8,
+    master_seed: int = 0,
+    experiment: str = "sweep",
+) -> SweepPlan:
+    """Expand scenarios × routers into a deterministic :class:`SweepPlan`.
+
+    Static scenarios are paired with every requested router that applies to
+    them (position-based baselines are skipped off unit-disk deployments,
+    planar-only routers off 3D ones).  Dynamic-schedule scenarios are always
+    routed by :data:`SCHEDULE_ROUTER` — the baselines have no dynamic
+    contract to check.  Shard indices follow the given scenario order, which
+    is the row order of the aggregated table.
+    """
+    for router in routers:
+        if router not in SWEEP_ROUTERS and router != SCHEDULE_ROUTER:
+            raise ExperimentError(
+                f"unknown sweep router {router!r}; expected one of "
+                f"{SWEEP_ROUTERS + (SCHEDULE_ROUTER,)}"
+            )
+    if pairs < 1:
+        raise ExperimentError("a sweep needs at least one pair per shard")
+    scenarios = list(scenarios)  # tolerate one-shot iterables; iterated twice
+    # Shard identity (and thus the trial seed) is (spec.name, router): two
+    # distinct scenarios sharing a name would collide silently, so refuse.
+    name_counts = Counter(spec.name for spec in scenarios)
+    duplicates = sorted(name for name, count in name_counts.items() if count > 1)
+    if duplicates:
+        raise ExperimentError(
+            f"scenario names must be unique within a sweep; duplicated: {duplicates}"
+        )
+    shards: List[SweepShard] = []
+    for spec in scenarios:
+        if is_dynamic_scenario(spec):
+            shard_routers = (SCHEDULE_ROUTER,)
+        else:
+            # The schedule walker has no static contract; requesting it (the
+            # exported SCHEDULE_ROUTER constant is a valid router name) only
+            # selects the dynamic scenarios of a mixed grid.
+            shard_routers = tuple(r for r in routers if r != SCHEDULE_ROUTER)
+        for router in shard_routers:
+            if router != SCHEDULE_ROUTER and not _router_applies(router, spec):
+                continue
+            shards.append(
+                SweepShard(
+                    index=len(shards),
+                    spec=spec,
+                    router=router,
+                    pairs=pairs,
+                    seed=shard_seed(master_seed, spec.name, router),
+                )
+            )
+    if not shards:
+        raise ExperimentError("sweep plan is empty: no (scenario, router) cell applies")
+    return SweepPlan(
+        experiment=experiment,
+        headers=SWEEP_HEADERS,
+        shards=tuple(shards),
+        master_seed=master_seed,
+    )
+
+
+#: Per-process cache of materialised scenarios, keyed by spec (specs are
+#: frozen dataclasses, hashable unless a caller smuggles unhashable values
+#: into ``extra``).  Shards with the same spec — one scenario routed by
+#: several routers — then share one graph/schedule *object*, which is exactly
+#: what lets the identity-keyed :func:`repro.core.engine.prepare` /
+#: ``prepare_schedule`` caches hit across shards within a worker.  Bounded so
+#: a worker that sees many scenarios does not pin them all.
+_SCENARIO_CACHE: "OrderedDict[Tuple[str, ScenarioSpec], object]" = OrderedDict()
+_SCENARIO_CACHE_LIMIT = 32
+
+
+def _materialise(kind: str, spec: ScenarioSpec, build: Callable[[ScenarioSpec], object]):
+    try:
+        key = (kind, spec)
+        cached = _SCENARIO_CACHE.get(key)
+    except TypeError:  # unhashable extra values: build fresh, skip caching
+        return build(spec)
+    if cached is None:
+        cached = build(spec)
+        _SCENARIO_CACHE[key] = cached
+        while len(_SCENARIO_CACHE) > _SCENARIO_CACHE_LIMIT:
+            _SCENARIO_CACHE.popitem(last=False)
+    else:
+        _SCENARIO_CACHE.move_to_end(key)
+    return cached
+
+
+def _row(
+    spec: ScenarioSpec,
+    router: str,
+    source: int,
+    target: int,
+    delivered: bool,
+    detected: bool,
+    hops: Optional[int],
+    steps: Optional[int],
+) -> List[object]:
+    # Cells are JSON primitives only, so a row survives the JSONL round trip
+    # bit for bit and resumed shards aggregate identically to fresh ones.
+    return [
+        spec.name,
+        spec.family,
+        spec.size,
+        router,
+        source,
+        target,
+        bool(delivered),
+        bool(detected),
+        hops,
+        steps,
+    ]
+
+
+def evaluate_shard(shard: SweepShard) -> List[List[object]]:
+    """Build the shard's scenario locally and produce its table rows.
+
+    Runs in a worker process (or inline on the serial path — same code, same
+    rows).  Scenarios are materialised through a per-process spec-keyed cache
+    and all topology state goes through the shared per-process engine caches
+    (:func:`repro.core.engine.prepare` / ``prepare_schedule``), so a worker
+    that receives several shards over the same spec builds and compiles its
+    graph exactly once.  Caching is an optimisation only: scenario
+    construction is deterministic per spec, so the rows are identical with
+    the caches cleared.
+    """
+    spec = shard.spec
+    if shard.router == SCHEDULE_ROUTER:
+        schedule = _materialise("schedule", spec, build_schedule)
+        engine = prepare_schedule(schedule)
+        pairs = pick_source_target_pairs(schedule.snapshots[0], shard.pairs, seed=shard.seed)
+        return [
+            _row(
+                spec,
+                shard.router,
+                source,
+                target,
+                delivered=result.outcome is DynamicOutcome.DELIVERED,
+                detected=result.outcome is DynamicOutcome.REPORTED_FAILURE,
+                hops=None,
+                steps=result.steps_taken,
+            )
+            for (source, target), result in zip(pairs, engine.route_many(pairs))
+        ]
+    network = _materialise("network", spec, build_scenario)
+    pairs = pick_source_target_pairs(network, shard.pairs, seed=shard.seed)
+    if shard.router == ENGINE_ROUTER:
+        engine = prepare(network.graph)
+        results = engine.route_many(pairs, namespace_size=network.namespace_size)
+        return [
+            _row(
+                spec,
+                shard.router,
+                source,
+                target,
+                delivered=result.delivered,
+                detected=result.outcome is RouteOutcome.FAILURE,
+                hops=result.physical_hops,
+                steps=result.total_virtual_steps,
+            )
+            for (source, target), result in zip(pairs, results)
+        ]
+    router = _router_by_name(shard.router)
+    rows: List[List[object]] = []
+    for source, target in pairs:
+        attempt = router.run(network.graph, network.deployment, source, target, shard.seed)
+        rows.append(
+            _row(
+                spec,
+                shard.router,
+                source,
+                target,
+                delivered=attempt.delivered,
+                detected=attempt.detected_failure,
+                hops=attempt.hops,
+                steps=None,
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# JSONL streaming and resume
+# --------------------------------------------------------------------------- #
+
+
+def _write_record(handle, record: Dict[str, object]) -> None:
+    handle.write(json.dumps(record) + "\n")
+    # One flushed line per shard: a crash loses only the shards in flight.
+    handle.flush()
+
+
+def _load_jsonl(path: str) -> Tuple[Optional[Dict[str, object]], Dict[int, Dict[str, object]]]:
+    """Tolerantly parse a sweep JSONL file.
+
+    Returns the first plan header (if any) and the last record seen for each
+    shard index.  Unparseable lines — typically the partial trailing line of
+    a killed run — are skipped rather than fatal, which is what makes the
+    stream crash-safe.
+    """
+    header: Optional[Dict[str, object]] = None
+    shards: Dict[int, Dict[str, object]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            kind = record.get("kind")
+            if kind == "plan" and header is None:
+                header = record
+            elif kind == "shard" and isinstance(record.get("index"), int):
+                shards[record["index"]] = record
+    return header, shards
+
+
+def _missing_final_newline(path: str) -> bool:
+    with open(path, "rb") as peek:
+        peek.seek(0, os.SEEK_END)
+        if peek.tell() == 0:
+            return False
+        peek.seek(-1, os.SEEK_END)
+        return peek.read(1) != b"\n"
+
+
+def _worker_init() -> None:
+    # A forked worker inherits the parent's warm scenario and prepared-engine
+    # caches; dropping them makes worker behaviour identical across start
+    # methods and keeps the parent's graphs from being pinned in every worker.
+    _SCENARIO_CACHE.clear()
+    clear_prepared_caches()
+
+
+def run_sweep(
+    plan: SweepPlan,
+    workers: int = 1,
+    out_path: Optional[str] = None,
+    resume: bool = False,
+) -> SweepOutcome:
+    """Execute a sweep plan; return the deterministic aggregated table.
+
+    ``workers <= 1`` runs every shard serially in-process — the executable
+    reference.  ``workers > 1`` fans the shards out over a process pool and
+    collects them as they finish.  Either way, when ``out_path`` is given
+    each completed shard is appended to it as one JSONL record immediately,
+    and with ``resume=True`` shards whose records are already on disk (from
+    a previous, possibly killed, run of the *same* plan) are skipped.
+
+    Aggregation replays the shards in plan order, so the returned table is
+    row-for-row identical to the serial reference regardless of worker
+    count, completion order, or how many shards were resumed from disk.
+    """
+    if resume and out_path is None:
+        raise ExperimentError("resume=True needs an out_path: there is no shard stream to resume from")
+    # Only the JSONL header and the resume guard read the fingerprint; pure
+    # in-memory sweeps skip the O(shards) serialise-and-hash entirely.
+    fingerprint = plan.fingerprint() if out_path is not None else None
+    completed: Dict[int, List[List[object]]] = {}
+    mode = "w"
+    if out_path is not None and resume and os.path.exists(out_path):
+        header, records = _load_jsonl(out_path)
+        if header is None:
+            # A non-empty file without a parseable plan header is not ours to
+            # overwrite — it is either unrelated data or a sweep stream whose
+            # header line was corrupted; truncating it would destroy rows.
+            # (An empty file — e.g. a crash before the header write — is a
+            # fresh start.)
+            if os.path.getsize(out_path) > 0:
+                raise ExperimentError(
+                    f"cannot resume {out_path!r}: no sweep plan header found "
+                    "(not a sweep stream, or its header line is corrupted) — "
+                    "move the file aside or rerun without resume"
+                )
+        else:
+            if header.get("fingerprint") != fingerprint:
+                raise ExperimentError(
+                    f"cannot resume {out_path!r}: it records a different sweep plan"
+                )
+            mode = "a"
+        for index, record in records.items():
+            rows = record.get("rows")
+            if (
+                record.get("fingerprint") == fingerprint
+                and 0 <= index < len(plan.shards)
+                and isinstance(rows, list)
+                # A parseable-but-corrupt record (wrong row shape) is treated
+                # as missing so its shard re-executes and the file self-heals,
+                # instead of poisoning aggregation on every later resume.
+                and all(
+                    isinstance(row, list) and len(row) == len(plan.headers)
+                    for row in rows
+                )
+            ):
+                completed[index] = rows
+
+    pending = [shard for shard in plan.shards if shard.index not in completed]
+    skipped = len(plan.shards) - len(pending)
+
+    handle = open(out_path, mode, encoding="utf-8") if out_path is not None else None
+    try:
+        if handle is not None and mode == "a" and _missing_final_newline(out_path):
+            # The previous run died mid-line; terminate the partial record so
+            # the first appended record does not concatenate onto it.  Flush
+            # before the pool forks: a worker inheriting a non-empty write
+            # buffer would flush its own copy into the shared fd on exit.
+            handle.write("\n")
+            handle.flush()
+        if handle is not None and mode == "w":
+            _write_record(
+                handle,
+                {
+                    "kind": "plan",
+                    "experiment": plan.experiment,
+                    "fingerprint": fingerprint,
+                    "headers": list(plan.headers),
+                    "shards": len(plan.shards),
+                },
+            )
+
+        def record_shard(shard: SweepShard, rows: List[List[object]]) -> None:
+            completed[shard.index] = rows
+            if handle is not None:
+                _write_record(
+                    handle,
+                    {
+                        "kind": "shard",
+                        "fingerprint": fingerprint,
+                        "index": shard.index,
+                        "shard": shard.key,
+                        "rows": rows,
+                    },
+                )
+
+        if workers <= 1 or len(pending) <= 1:
+            for shard in pending:
+                record_shard(shard, evaluate_shard(shard))
+        elif pending:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), initializer=_worker_init
+            ) as pool:
+                futures = {pool.submit(evaluate_shard, shard): shard for shard in pending}
+                for future in as_completed(futures):
+                    record_shard(futures[future], future.result())
+    finally:
+        if handle is not None:
+            handle.close()
+
+    table = ExperimentResult(experiment=plan.experiment, headers=list(plan.headers))
+    for shard in plan.shards:
+        for row in completed[shard.index]:
+            table.add_row(row)
+    return SweepOutcome(
+        table=table,
+        shards_total=len(plan.shards),
+        shards_skipped=skipped,
+        shards_executed=len(pending),
+        out_path=out_path,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Generic process-pool helpers (parameter sweeps, conformance)
+# --------------------------------------------------------------------------- #
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], workers: int
+) -> List[_R]:
+    """Order-preserving map over a process pool (serial when it cannot help).
+
+    ``fn`` and every item must be picklable (module-level functions, plain
+    data).  With ``workers <= 1`` or fewer than two items this degenerates to
+    a plain in-process loop, which is also the executable reference for what
+    the pool must produce.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(items)), initializer=_worker_init
+    ) as pool:
+        return list(pool.map(fn, items))
+
+
+def _scenario_rows_task(task: Tuple[Callable[..., Iterable[Sequence[object]]], ScenarioSpec]):
+    evaluate, spec = task
+    network = build_scenario(spec)
+    return [list(row) for row in evaluate(spec, network)]
+
+
+def map_scenario_rows(
+    evaluate: Callable[..., Iterable[Sequence[object]]],
+    scenarios: Sequence[ScenarioSpec],
+    workers: int,
+) -> List[List[List[object]]]:
+    """Evaluate every scenario in parallel; rows grouped per scenario, in order.
+
+    The worker body is exactly the reference sweep's loop body: build the
+    scenario, materialise ``evaluate``'s rows.  ``evaluate`` must be
+    picklable (a module-level function) and deterministic per ``(spec,
+    network)`` — cross-call state does not survive the process boundary.
+    """
+    return parallel_map(
+        _scenario_rows_task, [(evaluate, spec) for spec in scenarios], workers
+    )

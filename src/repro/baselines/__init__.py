@@ -40,6 +40,26 @@ ALL_ROUTER_SPECS: Tuple[RouterSpec, ...] = (
 )
 
 
+def router_applies(
+    spec: RouterSpec, has_positions: bool, dimension: Optional[int] = None
+) -> bool:
+    """Whether one router's contract lets it run on a scenario.
+
+    The single applicability policy: position-based routers need a
+    deployment, planar-only routers need a 2D one.  ``dimension=None`` means
+    "unknown", which only the positive checks can veto.  Both the conformance
+    harness (:func:`applicable_routers`, from a built network) and the sweep
+    planner (:func:`repro.analysis.runner.plan_sweep`, statically from a
+    :class:`~repro.analysis.experiments.ScenarioSpec`) decide through this
+    predicate.
+    """
+    if spec.needs_positions and not has_positions:
+        return False
+    if spec.planar_only and dimension is not None and dimension != 2:
+        return False
+    return True
+
+
 def applicable_routers(
     deployment: Optional[object] = None, dimension: Optional[int] = None
 ) -> Tuple[RouterSpec, ...]:
@@ -49,14 +69,11 @@ def applicable_routers(
     topological networks, which rules out the position-based routers);
     ``dimension`` its dimensionality (face routing requires 2D).
     """
-    routers = []
-    for spec in ALL_ROUTER_SPECS:
-        if spec.needs_positions and deployment is None:
-            continue
-        if spec.planar_only and dimension is not None and dimension != 2:
-            continue
-        routers.append(spec)
-    return tuple(routers)
+    return tuple(
+        spec
+        for spec in ALL_ROUTER_SPECS
+        if router_applies(spec, deployment is not None, dimension)
+    )
 
 
 __all__ = [
@@ -64,6 +81,7 @@ __all__ = [
     "RoutingAttempt",
     "ALL_ROUTER_SPECS",
     "applicable_routers",
+    "router_applies",
     "random_walk_route",
     "flood_broadcast",
     "flood_route",

@@ -33,28 +33,43 @@ can be exercised without writing any Python:
 ``python -m repro conformance``
     Run the differential conformance harness over the default scenario
     matrix and print the per-(scenario, router) summary; exit status 1 when
-    any cross-implementation invariant is violated.
+    any cross-implementation invariant is violated.  ``--workers N`` shards
+    the scenarios across worker processes.
+
+``python -m repro sweep --families grid ring --sizes 16 36 --workers 4 --out sweep.jsonl``
+    Shard a scenario × router sweep across worker processes
+    (:mod:`repro.analysis.runner`): each completed shard streams to the
+    ``--out`` JSONL file, ``--resume`` skips shards already on disk after an
+    interrupted run, and the aggregated table is row-for-row identical to a
+    serial run (``--workers 1``) with the same master seed.
 
 All commands accept ``--seed`` for reproducibility and ``--dimension 3`` for
 unit-ball (3D) deployments.  Exit status is 0 on success, 2 on bad arguments.
+Every subcommand is documented with copy-pasteable invocations in
+``docs/cli.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 import time
 from typing import List, Optional, Sequence
 
 from repro.analysis.conformance import run_conformance
 from repro.analysis.experiments import (
+    SCENARIO_FAMILIES,
     SCHEDULE_MUTATIONS,
     ScenarioSpec,
     build_scenario,
     build_schedule,
     pick_source_target_pairs,
+    structured_scenarios,
+    unit_disk_scenarios,
 )
+from repro.analysis.runner import SWEEP_ROUTERS, plan_sweep, run_sweep
 from repro.analysis.metrics import (
     delivery_rate,
     failure_detection_rate,
@@ -75,11 +90,16 @@ from repro.errors import ReproError
 __all__ = ["main", "build_parser"]
 
 
+#: Topology families every network-generating subcommand understands — the
+#: canonical list lives next to :func:`repro.analysis.experiments.build_scenario`.
+_FAMILY_CHOICES = list(SCENARIO_FAMILIES)
+
+
 def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--family",
         default="unit-disk",
-        choices=["unit-disk", "grid", "torus", "ring", "prism", "random-regular", "erdos-renyi", "lollipop", "tree", "two-rings"],
+        choices=_FAMILY_CHOICES,
         help="topology family to generate",
     )
     parser.add_argument("--size", type=int, default=30, help="number of nodes")
@@ -167,6 +187,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--pairs", type=int, default=4, help="source/target pairs per scenario"
     )
     conformance_parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
+    conformance_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes to shard the scenarios across"
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="shard a scenario x router sweep across worker processes"
+    )
+    sweep_parser.add_argument(
+        "--families",
+        nargs="+",
+        default=["grid", "ring"],
+        choices=_FAMILY_CHOICES,
+        help="topology families to sweep",
+    )
+    sweep_parser.add_argument(
+        "--sizes", nargs="+", type=int, default=[16], help="node counts to sweep"
+    )
+    sweep_parser.add_argument(
+        "--scenario-seeds",
+        nargs="+",
+        type=int,
+        default=[0],
+        help="instance seeds per (family, size) cell",
+    )
+    sweep_parser.add_argument(
+        "--radius", type=float, default=0.3, help="radio range (unit-disk only)"
+    )
+    sweep_parser.add_argument(
+        "--dimension", type=int, default=2, choices=[2, 3], help="deployment dimension"
+    )
+    sweep_parser.add_argument(
+        "--pairs", type=int, default=8, help="source/target pairs per shard"
+    )
+    sweep_parser.add_argument(
+        "--routers",
+        nargs="+",
+        default=["ues-engine"],
+        choices=list(SWEEP_ROUTERS),
+        help="routers to run on every applicable scenario",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="worker processes (1 = the serial reference path)",
+    )
+    sweep_parser.add_argument(
+        "--out", default=None, help="stream completed shards to this JSONL file"
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards whose records are already in --out (after an interrupted run)",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=0, help="master seed for deterministic per-shard seeding"
+    )
 
     return parser
 
@@ -300,8 +377,64 @@ def _command_route_schedule(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace, out) -> int:
+    if args.resume and args.out is None:
+        raise ReproError("--resume needs --out: there is no shard stream to resume from")
+    scenarios = []
+    for family in args.families:
+        if family == "unit-disk":
+            scenarios.extend(
+                unit_disk_scenarios(
+                    args.sizes,
+                    radius=args.radius,
+                    dimension=args.dimension,
+                    seeds=tuple(args.scenario_seeds),
+                )
+            )
+        else:
+            scenarios.extend(
+                structured_scenarios(family, args.sizes, seeds=tuple(args.scenario_seeds))
+            )
+    plan = plan_sweep(
+        scenarios,
+        routers=tuple(args.routers),
+        pairs=args.pairs,
+        master_seed=args.seed,
+        experiment="cli-sweep",
+    )
+    started = time.perf_counter()
+    outcome = run_sweep(plan, workers=args.workers, out_path=args.out, resume=args.resume)
+    elapsed = time.perf_counter() - started
+    table = outcome.table
+    print(
+        format_table(
+            table.headers,
+            table.rows,
+            title=(
+                f"sweep: {outcome.shards_total} shards "
+                f"({len(scenarios)} scenarios x {len(args.routers)} routers, "
+                f"{args.pairs} pairs each)"
+            ),
+        ),
+        file=out,
+    )
+    rate = outcome.shards_executed / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{outcome.shards_executed} shards executed, "
+        f"{outcome.shards_skipped} resumed from disk; "
+        f"{len(table.rows)} rows; {elapsed:.3f}s with {args.workers} workers "
+        f"({rate:.1f} shards/s)",
+        file=out,
+    )
+    if args.out is not None:
+        print(f"[streamed to {args.out}]", file=out)
+    return 0
+
+
 def _command_conformance(args: argparse.Namespace, out) -> int:
-    report = run_conformance(pairs_per_scenario=args.pairs, seed=args.seed)
+    report = run_conformance(
+        pairs_per_scenario=args.pairs, seed=args.seed, workers=args.workers
+    )
     print(report.table(), file=out)
     if report.ok:
         print(f"ok: {report.checks} checks, no violations", file=out)
@@ -381,6 +514,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "route-many": _command_route_many,
         "route-schedule": _command_route_schedule,
         "conformance": _command_conformance,
+        "sweep": _command_sweep,
     }
     try:
         return handlers[args.command](args, out)

@@ -39,6 +39,26 @@ virtual position between kernels in O(1) instead of re-deriving the reduction
 per call.  Outcomes are identical to
 :func:`repro.network.dynamics.reference_route_over_schedule`, the original
 per-call implementation kept as the executable specification.
+
+**Serial reference vs. prepared/parallel split.**  Everything in this module
+is the *optimised* realisation; the executable specifications live elsewhere
+and are never edited for speed: :func:`repro.core.routing.route` and
+:func:`repro.core.routing.route_on_network` specify static routing,
+:func:`repro.network.dynamics.reference_route_over_schedule` specifies the
+schedule walk, and
+:func:`repro.analysis.experiments.reference_run_parameter_sweep` specifies
+sweep aggregation.  The conformance harness
+(:mod:`repro.analysis.conformance`) asserts the two sides agree.
+
+**Worker safety.**  The sharded sweep orchestrator
+(:mod:`repro.analysis.runner`) runs one process pool per sweep; each worker
+process has its own copy of the module-level caches below, so workers never
+contend, and a graph object compiles once per process (the runner keeps a
+spec-keyed scenario cache so shards over the same spec really do share one
+graph object — these caches key by identity).  Workers call
+:func:`clear_prepared_caches` when they start so that fork-inherited parent
+state cannot leak into their measurements, and :func:`prepared_cache_info`
+exposes the cache sizes and hit counters for diagnostics.
 """
 
 from __future__ import annotations
@@ -67,8 +87,10 @@ __all__ = [
     "PreparedNetwork",
     "PreparedSchedule",
     "WalkTrace",
+    "clear_prepared_caches",
     "prepare",
     "prepare_schedule",
+    "prepared_cache_info",
     "route_many",
 ]
 
@@ -453,6 +475,15 @@ class WalkTrace:
 _ENGINE_CACHE: "OrderedDict[int, PreparedNetwork]" = OrderedDict()
 _ENGINE_CACHE_LIMIT = 64
 
+#: Hit/miss counters for the two shared caches, per process.  Diagnostics
+#: only — reported by :func:`prepared_cache_info`, never read by algorithms.
+_CACHE_COUNTERS = {
+    "engine_hits": 0,
+    "engine_misses": 0,
+    "schedule_hits": 0,
+    "schedule_misses": 0,
+}
+
 
 def prepare(network_or_graph: object) -> PreparedNetwork:
     """Return the shared :class:`PreparedNetwork` for a graph (built on demand).
@@ -475,7 +506,9 @@ def prepare(network_or_graph: object) -> PreparedNetwork:
     engine = _ENGINE_CACHE.get(key)
     if engine is not None and engine.graph is graph:
         _ENGINE_CACHE.move_to_end(key)
+        _CACHE_COUNTERS["engine_hits"] += 1
         return engine
+    _CACHE_COUNTERS["engine_misses"] += 1
     engine = PreparedNetwork(graph)
     _ENGINE_CACHE[key] = engine
     while len(_ENGINE_CACHE) > _ENGINE_CACHE_LIMIT:
@@ -756,9 +789,50 @@ def prepare_schedule(schedule: "TopologySchedule") -> PreparedSchedule:
     entry = _SCHEDULE_CACHE.get(key)
     if entry is not None and entry.schedule is schedule:
         _SCHEDULE_CACHE.move_to_end(key)
+        _CACHE_COUNTERS["schedule_hits"] += 1
         return entry
+    _CACHE_COUNTERS["schedule_misses"] += 1
     entry = PreparedSchedule(schedule)
     _SCHEDULE_CACHE[key] = entry
     while len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_LIMIT:
         _SCHEDULE_CACHE.popitem(last=False)
     return entry
+
+
+# ---------------------------------------------------------------------- #
+# Cache hooks for multi-process orchestration
+# ---------------------------------------------------------------------- #
+
+
+def prepared_cache_info() -> Dict[str, int]:
+    """Sizes and hit/miss counters of the shared caches, for this process.
+
+    Every process (the main one and each sweep worker) has its own caches, so
+    the numbers describe local behaviour only; the sweep runner can surface
+    them to verify that rotation-identical graphs really compiled once per
+    process.
+    """
+    info = dict(_CACHE_COUNTERS)
+    info["engines"] = len(_ENGINE_CACHE)
+    info["schedules"] = len(_SCHEDULE_CACHE)
+    return info
+
+
+def clear_prepared_caches() -> None:
+    """Drop every cached engine and schedule and reset the counters.
+
+    The sweep runner's worker initialiser calls this so a worker forked from
+    a warm parent starts from the same cold state as one spawned fresh —
+    per-worker compile behaviour is then identical across start methods and
+    the parent's cached graphs are not kept alive in every worker.  The
+    library-wide default sequence provider's cache is dropped for the same
+    reason; its sequences are deterministic, so nothing observable changes.
+    """
+    _ENGINE_CACHE.clear()
+    _SCHEDULE_CACHE.clear()
+    for counter in _CACHE_COUNTERS:
+        _CACHE_COUNTERS[counter] = 0
+    shared_provider = default_provider()
+    clear = getattr(shared_provider, "clear_cache", None)
+    if callable(clear):
+        clear()

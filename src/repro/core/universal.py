@@ -130,6 +130,16 @@ class RandomSequenceProvider(SequenceProvider):
             self._cache[n] = ExplicitSequence(rng.randrange(3) for _ in range(length))
         return self._cache[n]
 
+    def clear_cache(self) -> None:
+        """Drop the materialised sequences.
+
+        Purely a memory/measurement hook: sequences are deterministic per
+        ``(seed, n, multiplier)``, so a cleared cache regenerates the exact
+        same offsets.  The sweep runner's worker cold-start uses this so a
+        forked worker cannot inherit the parent's amortised generation work.
+        """
+        self._cache.clear()
+
 
 @dataclass(frozen=True)
 class CoverageFailure:

@@ -166,3 +166,67 @@ def test_conformance_command_passes_on_default_matrix():
     assert status == 0
     assert "differential conformance" in output
     assert "no violations" in output
+
+
+def test_conformance_command_accepts_workers():
+    status, output = _run(["conformance", "--pairs", "1", "--workers", "2"])
+    assert status == 0
+    assert "no violations" in output
+
+
+def test_sweep_command_prints_table_and_accounting():
+    status, output = _run(
+        [
+            "sweep",
+            "--families", "grid", "ring",
+            "--sizes", "9",
+            "--pairs", "2",
+            "--routers", "ues-engine", "flooding",
+            "--workers", "2",
+            "--seed", "3",
+        ]
+    )
+    assert status == 0
+    assert "sweep: 4 shards" in output
+    assert "ues-engine" in output and "flooding" in output
+    assert "4 shards executed, 0 resumed from disk" in output
+
+
+def test_sweep_command_parallel_serial_and_resume_agree(tmp_path):
+    out_file = tmp_path / "sweep.jsonl"
+    base = [
+        "sweep",
+        "--families", "grid",
+        "--sizes", "9",
+        "--pairs", "2",
+        "--scenario-seeds", "0", "1",
+        "--seed", "5",
+    ]
+    status, serial_output = _run(base + ["--workers", "1"])
+    assert status == 0
+    status, parallel_output = _run(base + ["--workers", "2", "--out", str(out_file)])
+    assert status == 0
+    assert f"[streamed to {out_file}]" in parallel_output
+
+    def table_lines(output):
+        return [line for line in output.splitlines() if "grid-n9" in line]
+
+    assert table_lines(serial_output) == table_lines(parallel_output)
+
+    status, resumed_output = _run(
+        base + ["--workers", "2", "--out", str(out_file), "--resume"]
+    )
+    assert status == 0
+    assert "0 shards executed, 2 resumed from disk" in resumed_output
+    assert table_lines(resumed_output) == table_lines(serial_output)
+
+
+def test_sweep_command_rejects_unknown_router():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--routers", "no-such-router"])
+
+
+def test_sweep_command_rejects_resume_without_out():
+    status, output = _run(["sweep", "--families", "grid", "--sizes", "9", "--resume"])
+    assert status == 2
+    assert "error:" in output and "--out" in output

@@ -1,0 +1,39 @@
+"""The documentation checker (``tools/check_docs.py``) passes on the repo.
+
+Running the checker inside tier-1 means a PR that drops a module docstring or
+moves a file referenced from ``docs/`` fails fast locally, not just in the CI
+docs job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_CHECKER = Path(__file__).resolve().parent.parent / "tools" / "check_docs.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs", _CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_public_module_has_a_docstring():
+    assert _load_checker().missing_docstrings() == []
+
+
+def test_every_doc_referenced_path_exists():
+    assert _load_checker().broken_references() == []
+
+
+def test_repo_path_heuristic():
+    checker = _load_checker()
+    assert checker._looks_like_repo_path("src/repro/cli.py")
+    assert checker._looks_like_repo_path("docs/cli.md")
+    assert checker._looks_like_repo_path("README.md")
+    # Dotted module names, bare words and shell fragments are not paths.
+    assert not checker._looks_like_repo_path("repro.core.engine")
+    assert not checker._looks_like_repo_path("route-many")
+    assert not checker._looks_like_repo_path("a/b")

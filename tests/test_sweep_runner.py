@@ -1,0 +1,368 @@
+"""Tests for the sharded parallel sweep orchestrator (``repro.analysis.runner``).
+
+The contract under test: a parallel sweep is an *optimisation only* — for any
+worker count, any completion order, and any resume point, the aggregated
+table is row-for-row identical to the serial reference with the same master
+seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.conformance import default_conformance_matrix, run_conformance
+from repro.analysis.experiments import (
+    ScenarioSpec,
+    dynamic_schedule_scenarios,
+    reference_run_parameter_sweep,
+    run_parameter_sweep,
+    structured_scenarios,
+    unit_disk_scenarios,
+)
+from repro.analysis.runner import (
+    SCHEDULE_ROUTER,
+    SWEEP_HEADERS,
+    evaluate_shard,
+    parallel_map,
+    plan_sweep,
+    run_sweep,
+    shard_seed,
+)
+from repro.core.engine import clear_prepared_caches, prepare, prepared_cache_info
+from repro.errors import ExperimentError
+from repro.graphs import generators
+
+
+def _small_plan(master_seed: int = 7, pairs: int = 3):
+    scenarios = (
+        structured_scenarios("grid", [9])
+        + structured_scenarios("ring", [6])
+        + structured_scenarios("two-rings", [8])
+    )
+    return plan_sweep(
+        scenarios, routers=("ues-engine", "flooding"), pairs=pairs, master_seed=master_seed
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Planning and seeding
+# --------------------------------------------------------------------------- #
+
+
+def test_shard_seed_is_deterministic_and_identity_sensitive():
+    assert shard_seed(0, "a", "b") == shard_seed(0, "a", "b")
+    assert shard_seed(0, "a", "b") != shard_seed(1, "a", "b")
+    assert shard_seed(0, "a", "b") != shard_seed(0, "a", "c")
+    assert shard_seed(0, "a", "b") >= 0
+
+
+def test_plan_sweep_expands_the_grid_deterministically():
+    plan = _small_plan()
+    assert plan.headers == SWEEP_HEADERS
+    assert [shard.index for shard in plan.shards] == list(range(6))
+    assert [shard.key for shard in plan.shards] == [
+        "grid-n9-s0:ues-engine",
+        "grid-n9-s0:flooding",
+        "ring-n6-s0:ues-engine",
+        "ring-n6-s0:flooding",
+        "two-rings-n8-s0:ues-engine",
+        "two-rings-n8-s0:flooding",
+    ]
+    assert plan.fingerprint() == _small_plan().fingerprint()
+    assert plan.fingerprint() != _small_plan(master_seed=8).fingerprint()
+    # One-shot iterables plan identically to sequences.
+    from_iterator = plan_sweep(
+        iter(structured_scenarios("grid", [9])), routers=("ues-engine", "flooding")
+    )
+    assert [shard.key for shard in from_iterator.shards] == [
+        "grid-n9-s0:ues-engine",
+        "grid-n9-s0:flooding",
+    ]
+
+
+def test_plan_sweep_validates_routers_and_pairs():
+    scenarios = structured_scenarios("grid", [9])
+    with pytest.raises(ExperimentError):
+        plan_sweep(scenarios, routers=("no-such-router",))
+    with pytest.raises(ExperimentError):
+        plan_sweep(scenarios, pairs=0)
+    with pytest.raises(ExperimentError):
+        plan_sweep([])
+
+
+def test_plan_sweep_rejects_duplicate_scenario_names():
+    # Same name, different network: the shard seed would collide silently.
+    duplicated = unit_disk_scenarios([12], radius=0.3) + unit_disk_scenarios(
+        [12], radius=0.5
+    )
+    with pytest.raises(ExperimentError, match="unique"):
+        plan_sweep(duplicated)
+
+
+def test_plan_sweep_skips_inapplicable_routers():
+    # Position-based routers have nothing to run on a purely topological grid.
+    plan = plan_sweep(structured_scenarios("grid", [9]), routers=("ues-engine", "greedy"))
+    assert [shard.router for shard in plan.shards] == ["ues-engine"]
+    # ... but apply on unit-disk deployments.
+    plan = plan_sweep(
+        unit_disk_scenarios([12], radius=0.5), routers=("ues-engine", "greedy")
+    )
+    assert [shard.router for shard in plan.shards] == ["ues-engine", "greedy"]
+
+
+def test_plan_sweep_routes_dynamic_scenarios_with_the_schedule_walker():
+    specs = dynamic_schedule_scenarios(families=("grid",), sizes=(9,), snapshots=2)
+    plan = plan_sweep(specs, routers=("ues-engine", "flooding"))
+    assert [shard.router for shard in plan.shards] == [SCHEDULE_ROUTER]
+    # The exported SCHEDULE_ROUTER constant is a valid router name: it
+    # selects the dynamic scenarios of a mixed grid and nothing else.
+    mixed = specs + structured_scenarios("grid", [9])
+    explicit = plan_sweep(mixed, routers=(SCHEDULE_ROUTER,))
+    assert [shard.router for shard in explicit.shards] == [SCHEDULE_ROUTER]
+    assert explicit.shards[0].spec == specs[0]
+    rows = evaluate_shard(plan.shards[0])
+    assert len(rows) == plan.shards[0].pairs
+    assert all(row[3] == SCHEDULE_ROUTER for row in rows)
+
+
+# --------------------------------------------------------------------------- #
+# Parallel == serial, bit for bit
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_sweep_matches_serial_reference(workers):
+    plan = _small_plan()
+    serial = run_sweep(plan, workers=1)
+    parallel = run_sweep(plan, workers=workers)
+    assert parallel.table.headers == serial.table.headers
+    assert parallel.table.rows == serial.table.rows
+    assert parallel.shards_executed == serial.shards_total
+    assert parallel.shards_skipped == 0
+
+
+def test_parallel_sweep_matches_serial_on_dynamic_scenarios():
+    specs = dynamic_schedule_scenarios(
+        families=("grid", "ring"), sizes=(9,), snapshots=2, switch_every=4
+    )
+    plan = plan_sweep(specs, pairs=3, master_seed=5)
+    serial = run_sweep(plan, workers=1)
+    parallel = run_sweep(plan, workers=2)
+    assert parallel.table.rows == serial.table.rows
+
+
+def test_same_spec_shards_share_one_materialised_network():
+    # The per-process scenario cache is what lets prepare()'s identity-keyed
+    # cache hit across shards of one scenario; and it must be an optimisation
+    # only — rows identical with the cache cleared between shards.
+    from repro.analysis import runner
+
+    plan = plan_sweep(
+        structured_scenarios("grid", [9]), routers=("ues-engine", "flooding"), pairs=2
+    )
+    runner._SCENARIO_CACHE.clear()
+    try:
+        first = runner._materialise("network", plan.shards[0].spec, lambda s: object())
+        second = runner._materialise("network", plan.shards[1].spec, lambda s: object())
+        assert first is second
+    finally:
+        runner._SCENARIO_CACHE.clear()
+
+    warm = [evaluate_shard(shard) for shard in plan.shards]
+    cold = []
+    for shard in plan.shards:
+        runner._SCENARIO_CACHE.clear()
+        clear_prepared_caches()
+        cold.append(evaluate_shard(shard))
+    assert warm == cold
+
+
+def test_rows_are_json_primitives():
+    plan = _small_plan()
+    for shard in plan.shards[:2]:
+        for row in evaluate_shard(shard):
+            assert row == json.loads(json.dumps(row))
+
+
+# --------------------------------------------------------------------------- #
+# JSONL streaming, crash safety, resume
+# --------------------------------------------------------------------------- #
+
+
+def test_run_sweep_streams_one_record_per_shard(tmp_path):
+    plan = _small_plan()
+    out = tmp_path / "sweep.jsonl"
+    outcome = run_sweep(plan, workers=1, out_path=str(out))
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    assert lines[0]["kind"] == "plan"
+    assert lines[0]["fingerprint"] == plan.fingerprint()
+    shard_records = [record for record in lines if record["kind"] == "shard"]
+    assert sorted(record["index"] for record in shard_records) == list(range(6))
+    assert outcome.shards_executed == 6
+
+
+def test_resume_skips_completed_shards_and_reproduces_the_table(tmp_path):
+    plan = _small_plan()
+    serial = run_sweep(plan, workers=1)
+    out = tmp_path / "sweep.jsonl"
+    run_sweep(plan, workers=1, out_path=str(out))
+
+    # Simulate a mid-sweep kill: keep the plan header and the first two shard
+    # records, then a partially written line with no trailing newline.
+    lines = out.read_text().splitlines()
+    out.write_text("\n".join(lines[:3]) + "\n" + '{"kind": "shard", "index": 5, "ro')
+
+    resumed = run_sweep(plan, workers=2, out_path=str(out), resume=True)
+    assert resumed.shards_skipped == 2
+    assert resumed.shards_executed == 4
+    assert resumed.table.rows == serial.table.rows
+
+    # A second resume finds everything on disk and executes nothing.
+    replay = run_sweep(plan, workers=4, out_path=str(out), resume=True)
+    assert replay.shards_skipped == 6
+    assert replay.shards_executed == 0
+    assert replay.table.rows == serial.table.rows
+
+
+def test_resume_requires_an_out_path():
+    with pytest.raises(ExperimentError, match="out_path"):
+        run_sweep(_small_plan(), workers=1, resume=True)
+
+
+def test_streaming_needs_json_serializable_specs(tmp_path):
+    # A non-JSON extra would fingerprint differently per process (repr embeds
+    # a memory address), so streaming refuses it loudly; an in-memory sweep
+    # of the same plan never fingerprints and still works.
+    spec = ScenarioSpec(name="g", family="grid", size=9, extra=(("tag", object()),))
+    plan = plan_sweep([spec], pairs=2)
+    with pytest.raises(ExperimentError, match="JSON-serializable"):
+        run_sweep(plan, workers=1, out_path=str(tmp_path / "out.jsonl"))
+    assert len(run_sweep(plan, workers=1).table.rows) == 2
+
+
+def test_resume_reexecutes_shards_with_corrupt_row_shapes(tmp_path):
+    # A parseable record whose rows have the wrong width must count as
+    # missing (its shard re-executes, the file self-heals), not poison
+    # aggregation on every later resume.
+    plan = _small_plan()
+    serial = run_sweep(plan, workers=1)
+    out = tmp_path / "sweep.jsonl"
+    run_sweep(plan, workers=1, out_path=str(out))
+    lines = out.read_text().splitlines()
+    record = json.loads(lines[1])
+    record["rows"] = [["too", "short"]]
+    lines[1] = json.dumps(record)
+    out.write_text("\n".join(lines) + "\n")
+
+    resumed = run_sweep(plan, workers=1, out_path=str(out), resume=True)
+    assert resumed.shards_skipped == 5
+    assert resumed.shards_executed == 1
+    assert resumed.table.rows == serial.table.rows
+
+
+def test_resume_rejects_a_file_from_a_different_plan(tmp_path):
+    out = tmp_path / "sweep.jsonl"
+    run_sweep(_small_plan(master_seed=7), workers=1, out_path=str(out))
+    with pytest.raises(ExperimentError):
+        run_sweep(_small_plan(master_seed=8), workers=1, out_path=str(out), resume=True)
+
+
+def test_resume_refuses_to_truncate_a_headerless_file(tmp_path):
+    # Resuming must never destroy a file that is not a sweep stream (or whose
+    # plan header line was corrupted by a crash).
+    out = tmp_path / "precious.jsonl"
+    out.write_text('{"unrelated": "data"}\n')
+    with pytest.raises(ExperimentError):
+        run_sweep(_small_plan(), workers=1, out_path=str(out), resume=True)
+    assert out.read_text() == '{"unrelated": "data"}\n'
+
+    # An empty file (crash before the header write) is a fresh start.
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    outcome = run_sweep(_small_plan(), workers=1, out_path=str(empty), resume=True)
+    assert outcome.shards_skipped == 0 and outcome.shards_executed == 6
+
+
+def test_without_resume_an_existing_file_is_overwritten(tmp_path):
+    plan = _small_plan()
+    out = tmp_path / "sweep.jsonl"
+    run_sweep(plan, workers=1, out_path=str(out))
+    outcome = run_sweep(plan, workers=1, out_path=str(out))
+    assert outcome.shards_skipped == 0
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    assert sum(1 for record in lines if record["kind"] == "plan") == 1
+
+
+# --------------------------------------------------------------------------- #
+# run_parameter_sweep wiring
+# --------------------------------------------------------------------------- #
+
+
+def _count_edges_evaluate(spec: ScenarioSpec, network):
+    # Module-level so the parallel path can pickle it into the workers.
+    yield [spec.name, network.num_nodes, len(list(network.graph.edges()))]
+
+
+def test_run_parameter_sweep_parallel_matches_reference():
+    scenarios = structured_scenarios("ring", [5, 7]) + structured_scenarios("grid", [9])
+    headers = ["name", "nodes", "edges"]
+    reference = reference_run_parameter_sweep(
+        "demo", headers, scenarios, _count_edges_evaluate
+    )
+    serial = run_parameter_sweep("demo", headers, scenarios, _count_edges_evaluate)
+    parallel = run_parameter_sweep(
+        "demo", headers, scenarios, _count_edges_evaluate, workers=2
+    )
+    assert serial.rows == reference.rows
+    assert parallel.rows == reference.rows
+    assert parallel.headers == reference.headers
+
+
+# --------------------------------------------------------------------------- #
+# Conformance sharding
+# --------------------------------------------------------------------------- #
+
+
+def test_conformance_parallel_matches_serial():
+    scenarios = default_conformance_matrix()[:4]
+    serial = run_conformance(scenarios=scenarios, pairs_per_scenario=2)
+    parallel = run_conformance(scenarios=scenarios, pairs_per_scenario=2, workers=2)
+    assert parallel.rows == serial.rows
+    assert parallel.checks == serial.checks
+    assert parallel.violations == serial.violations
+    assert parallel.ok
+
+
+def test_parallel_map_preserves_order():
+    assert parallel_map(len, ["a", "bbb", "cc"], workers=1) == [1, 3, 2]
+    assert parallel_map(len, ["a", "bbb", "cc"], workers=2) == [1, 3, 2]
+
+
+# --------------------------------------------------------------------------- #
+# Engine cache hooks (worker cold start)
+# --------------------------------------------------------------------------- #
+
+
+def test_prepared_cache_hooks_track_and_reset():
+    clear_prepared_caches()
+    graph = generators.grid_graph(3, 3)
+    prepare(graph)
+    prepare(graph)
+    info = prepared_cache_info()
+    assert info["engines"] >= 1
+    assert info["engine_hits"] >= 1
+    assert info["engine_misses"] >= 1
+    clear_prepared_caches()
+    info = prepared_cache_info()
+    assert info["engines"] == 0 and info["schedules"] == 0
+    assert info["engine_hits"] == 0 and info["engine_misses"] == 0
+
+
+def test_clear_prepared_caches_does_not_change_results():
+    graph = generators.grid_graph(4, 4)
+    before = prepare(graph).route(0, 15)
+    clear_prepared_caches()
+    after = prepare(graph).route(0, 15)
+    assert before == after

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Documentation checker — the CI docs job (and ``tests/test_docs.py``).
+
+Two deterministic checks, zero dependencies:
+
+1. **Docstrings** — every public module under ``src/repro`` (including every
+   ``__init__.py``) must carry a module docstring.
+2. **Doc references** — every repository path referenced in ``docs/*.md`` or
+   ``README.md`` (backticked tokens and relative Markdown link targets that
+   look like repo paths) must exist, so the documentation cannot silently
+   rot as files move.
+
+Run from anywhere::
+
+    python tools/check_docs.py
+
+Exit status 0 when clean, 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Top-level directories a backticked token must start with to be treated as
+#: a repository path (keeps shell snippets and module dotted names out).
+_PATH_ROOTS = ("src", "docs", "tests", "benchmarks", "examples", "tools")
+
+#: Root-level files that may be referenced by bare name.
+_ROOT_FILES = {
+    "README.md",
+    "CHANGES.md",
+    "ROADMAP.md",
+    "PAPER.md",
+    "PAPERS.md",
+    "SNIPPETS.md",
+    "pyproject.toml",
+}
+
+#: `path` in backticks, or a relative Markdown link target `](path)`.
+_REFERENCE = re.compile(r"`([A-Za-z0-9_./-]+)`|\]\(([A-Za-z0-9_./-]+)\)")
+
+
+def _looks_like_repo_path(token: str) -> bool:
+    if token in _ROOT_FILES:
+        return True
+    if "/" not in token:
+        return False
+    return token.split("/", 1)[0] in _PATH_ROOTS
+
+
+def missing_docstrings() -> List[str]:
+    """Public modules under ``src`` without a module docstring."""
+    problems: List[str] = []
+    for path in sorted((ROOT / "src").rglob("*.py")):
+        if path.name.startswith("_") and path.name != "__init__.py":
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as error:  # pragma: no cover - would fail tests too
+            problems.append(f"{path.relative_to(ROOT)}: unparseable ({error})")
+            continue
+        if ast.get_docstring(tree) is None:
+            problems.append(f"{path.relative_to(ROOT)}: missing module docstring")
+    return problems
+
+
+def broken_references() -> List[str]:
+    """Paths referenced from the documentation that do not exist."""
+    problems: List[str] = []
+    documents = sorted(ROOT.glob("docs/*.md")) + [ROOT / "README.md"]
+    for document in documents:
+        text = document.read_text(encoding="utf-8")
+        seen = set()
+        for match in _REFERENCE.finditer(text):
+            token = (match.group(1) or match.group(2)).rstrip("/")
+            if token in seen or not _looks_like_repo_path(token):
+                continue
+            seen.add(token)
+            if not (ROOT / token).exists():
+                problems.append(
+                    f"{document.relative_to(ROOT)}: referenced path {token!r} does not exist"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = missing_docstrings() + broken_references()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"FAIL: {len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print("ok: all public modules documented, all doc references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
