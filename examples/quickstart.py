@@ -11,8 +11,11 @@ unit-disk network:
    walker and the fully simulated distributed protocol,
 4. route towards an unreachable node and watch the source receive the
    guaranteed *failure* confirmation,
-5. scale out: shard a scenario × router sweep across worker processes and
-   check the aggregate matches the serial reference row for row.
+5. switch to the unified task API: submit the same route as a replayable
+   ``RouteRequest`` through a ``Session`` and check the uniform ``TaskResult``
+   envelope agrees with the direct call — then round-trip it through JSON,
+6. scale out: submit a ``SweepRequest`` (sharded across worker processes)
+   and check the aggregate matches the inline serial reference row for row.
 
 Run it with::
 
@@ -23,13 +26,17 @@ from __future__ import annotations
 
 from repro import (
     RouteOutcome,
+    RouteRequest,
+    Session,
+    SweepRequest,
     build_unit_disk_network,
     connected_component,
     count_nodes,
     route,
     route_on_network,
 )
-from repro.analysis import plan_sweep, run_sweep, structured_scenarios
+from repro.analysis import ScenarioSpec, structured_scenarios
+from repro.api.envelope import from_json
 
 
 def main() -> None:
@@ -80,24 +87,52 @@ def main() -> None:
     )
     assert failure.outcome is RouteOutcome.FAILURE
 
-    # 5. Beyond the paper: sweep a whole scenario grid across worker
-    #    processes.  Each shard derives its trial seed from the master seed,
-    #    so the parallel aggregate is row-for-row identical to a serial run
-    #    (workers=1) — add out_path="sweep.jsonl" and resume=True to survive
-    #    interruptions.
-    plan = plan_sweep(
-        structured_scenarios("grid", [9, 16]) + structured_scenarios("ring", [8]),
+    # 5. The unified task API (repro.api): the same route as a declarative,
+    #    replayable request through the Session facade.  The request names a
+    #    ScenarioSpec instead of a live graph, so it round-trips losslessly
+    #    through JSON — and the envelope must agree with the direct call.
+    session = Session()
+    spec = ScenarioSpec(
+        name="quickstart-udg",
+        family="unit-disk",
+        size=40,
+        seed=7,
+        radius=0.28,
+        namespace_size=2 ** 32,
+    )
+    request = RouteRequest(scenario=spec, source=0, target=1)
+    envelope = session.submit(request)
+    assert RouteRequest.from_json(request.to_json()) == request
+    replayed = from_json(envelope.to_json())
+    assert replayed.payload == envelope.payload and replayed.status == envelope.status
+    print(
+        f"task API: {envelope.task} via {envelope.backend} backend -> "
+        f"{envelope.status}, payload of {len(envelope.payload)} fields, "
+        f"JSON round-trip lossless"
+    )
+
+    # 6. Beyond the paper: sweep a whole scenario grid across worker
+    #    processes by submitting one SweepRequest.  Each shard derives its
+    #    trial seed from the master seed, so the pooled aggregate is
+    #    row-for-row identical to the inline serial reference — add
+    #    out_path="sweep.jsonl" and resume=True to survive interruptions.
+    sweep = SweepRequest(
+        scenarios=tuple(
+            structured_scenarios("grid", [9, 16]) + structured_scenarios("ring", [8])
+        ),
         routers=("ues-engine", "flooding"),
         pairs=3,
         master_seed=0,
+        workers=2,
     )
-    outcome = run_sweep(plan, workers=2)
-    reference = run_sweep(plan, workers=1)
-    assert outcome.table.rows == reference.table.rows
-    delivered = sum(1 for row in outcome.table.rows if row[6])
+    outcome = session.submit(sweep)                        # process-pool backend
+    reference = session.submit(sweep, backend="inline")    # serial reference
+    assert outcome.payload["rows"] == reference.payload["rows"]
+    delivered = sum(1 for row in outcome.payload["rows"] if row[6])
     print(
-        f"sweep: {outcome.shards_total} shards -> {len(outcome.table.rows)} rows "
-        f"({delivered} delivered), parallel aggregate identical to serial"
+        f"sweep: {outcome.payload['shards_total']} shards -> "
+        f"{len(outcome.payload['rows'])} rows ({delivered} delivered), "
+        f"{outcome.backend} aggregate identical to {reference.backend}"
     )
 
 

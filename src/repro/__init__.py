@@ -91,6 +91,19 @@ from repro.baselines import (
     greedy_geographic_route,
     random_walk_route,
 )
+from repro.api import (
+    BroadcastRequest,
+    CompareRequest,
+    ConformanceRequest,
+    ConnectivityRequest,
+    CountRequest,
+    RouteBatchRequest,
+    RouteRequest,
+    ScheduleRouteRequest,
+    Session,
+    SweepRequest,
+    TaskResult,
+)
 
 __version__ = "1.0.0"
 
@@ -159,5 +172,17 @@ __all__ = [
     "greedy_geographic_route",
     "gfg_route",
     "dfs_token_route",
+    # unified task API (the facade; full surface in repro.api)
+    "Session",
+    "TaskResult",
+    "RouteRequest",
+    "RouteBatchRequest",
+    "ScheduleRouteRequest",
+    "BroadcastRequest",
+    "CountRequest",
+    "ConnectivityRequest",
+    "CompareRequest",
+    "SweepRequest",
+    "ConformanceRequest",
     "__version__",
 ]

@@ -43,6 +43,7 @@ from repro.analysis.runner import (
 from repro.analysis.conformance import (
     ConformanceReport,
     ConformanceViolation,
+    conformance_pass,
     default_conformance_matrix,
     run_conformance,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "shard_seed",
     "ConformanceReport",
     "ConformanceViolation",
+    "conformance_pass",
     "default_conformance_matrix",
     "run_conformance",
 ]

@@ -21,7 +21,12 @@ in one table-driven pass:
   over-trusted;
 * the schedule-aware engine agrees with the reference schedule walker
   result-for-result, degenerates to static routing on static schedules, and
-  labels the soundness of every dynamic verdict correctly.
+  labels the soundness of every dynamic verdict correctly;
+* the unified task API (:mod:`repro.api`) reproduces the engine exactly when
+  routing the same pair through a :class:`~repro.api.session.Session`-built
+  scenario — status, payload and step accounting (the ``api-parity``
+  invariant, checked on the default-provider path for both static and
+  dynamic scenarios).
 
 The harness is what the roadmap's "validate round-based models against their
 synchronous idealisation" advice looks like in code: one place where every
@@ -29,7 +34,7 @@ implementation is confronted with every scenario family, so a divergence
 introduced by an optimisation shows up as a named invariant violation rather
 than a silently different benchmark number.
 
-Scenarios are independent of each other, so :func:`run_conformance` can shard
+Scenarios are independent of each other, so :func:`conformance_pass` can shard
 them across worker processes (``workers > 1``) through the same pool helper
 the sweep orchestrator uses (:func:`repro.analysis.runner.parallel_map`);
 per-scenario fragments are merged in scenario order, so the report is
@@ -53,6 +58,7 @@ from repro.analysis.experiments import (
 from repro.analysis.runner import parallel_map
 from repro.analysis.reporting import format_table
 from repro.baselines import applicable_routers
+from repro.deprecation import warn_once
 from repro.core.engine import prepare, prepare_schedule
 from repro.core.routing import RouteOutcome, route, route_on_network
 from repro.core.universal import SequenceProvider
@@ -66,6 +72,7 @@ __all__ = [
     "ConformanceViolation",
     "ConformanceReport",
     "default_conformance_matrix",
+    "conformance_pass",
     "run_conformance",
 ]
 
@@ -181,7 +188,7 @@ def _scenario_fragment(
     return fragment
 
 
-def run_conformance(
+def conformance_pass(
     scenarios: Optional[Sequence[ScenarioSpec]] = None,
     pairs_per_scenario: int = 4,
     seed: int = 0,
@@ -203,6 +210,10 @@ def run_conformance(
     bound: a provider that mutates cross-call state to vary its sequences
     would see that state reset in every worker and silently diverge from the
     serial report.
+
+    This is the execution body of the ``conformance`` task
+    (:class:`repro.api.ConformanceRequest`); the blessed entry point is
+    ``Session.submit``.
     """
     specs = list(scenarios) if scenarios is not None else default_conformance_matrix()
     tasks = [(spec, pairs_per_scenario, seed, provider) for spec in specs]
@@ -213,6 +224,36 @@ def run_conformance(
         report.violations.extend(fragment.violations)
         report.checks += fragment.checks
     return report
+
+
+def run_conformance(
+    scenarios: Optional[Sequence[ScenarioSpec]] = None,
+    pairs_per_scenario: int = 4,
+    seed: int = 0,
+    provider: Optional[SequenceProvider] = None,
+    workers: int = 1,
+) -> ConformanceReport:
+    """Deprecated alias of :func:`conformance_pass`.
+
+    Kept for callers of the kwargs-style free function; new code should
+    submit a :class:`repro.api.ConformanceRequest` through
+    :class:`repro.api.Session` and read the uniform
+    :class:`~repro.api.envelope.TaskResult` envelope instead.  Emits one
+    :class:`DeprecationWarning` per process; results are bit-for-bit
+    identical to the new path (asserted in ``tests/test_api_deprecation.py``).
+    """
+    warn_once(
+        "conformance.run_conformance",
+        "run_conformance(...) is deprecated; submit a "
+        "repro.api.ConformanceRequest through repro.api.Session instead",
+    )
+    return conformance_pass(
+        scenarios=scenarios,
+        pairs_per_scenario=pairs_per_scenario,
+        seed=seed,
+        provider=provider,
+        workers=workers,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -234,6 +275,18 @@ def _check_static_scenario(
     engine = prepare(graph)
     pairs = pick_source_target_pairs(network, pairs_per_scenario, seed=seed)
     tallies: Dict[str, _Tally] = {}
+
+    # The unified task API must reproduce the engine exactly when it builds
+    # the same spec itself.  Requests cannot carry a live provider object, so
+    # the check only applies on the default-provider path.  Imported lazily:
+    # repro.api sits above this module in the layer order.
+    api_session = None
+    if provider is None:
+        from repro.api.executors import route_result_payload
+        from repro.api.requests import RouteRequest
+        from repro.api.session import Session
+
+        api_session = Session()
 
     def fail(router: str, s: int, t: int, invariant: str, detail: str = "") -> None:
         report.violations.append(
@@ -277,6 +330,28 @@ def _check_static_scenario(
             traced_result == engine_result,
             "route_with_trace diverged from route",
         )
+
+        if api_session is not None:
+            # The facade builds its own network from the same spec, so parity
+            # here covers scenario construction, engine reuse and the payload
+            # encoding in one invariant.
+            api_result = api_session.submit(
+                RouteRequest(scenario=spec, source=s, target=t)
+            )
+            expected = engine.route(s, t, namespace_size=network.namespace_size)
+            tally = tallies.setdefault("ues-api", _Tally())
+            tally.pairs += 1
+            tally.delivered += int(api_result.payload["delivered"])
+            tally.detected += int(api_result.status == RouteOutcome.FAILURE.value)
+            check(
+                "ues-api", s, t, "api-parity",
+                api_result.status == expected.outcome.value
+                and api_result.payload == route_result_payload(expected)
+                and api_result.physical_steps == expected.physical_hops
+                and api_result.virtual_steps == expected.total_virtual_steps,
+                f"api={api_result.status}/{api_result.payload} "
+                f"engine={expected.outcome.value}",
+            )
 
         if engine_result.sequence_length <= _DISTRIBUTED_LENGTH_CAP:
             distributed = route_on_network(network, s, t, provider=provider)
@@ -366,12 +441,32 @@ def _check_dynamic_scenario(
             )
             tally.violations += 1
 
+    # Same API-parity treatment as the static path: only on the
+    # default-provider path, through a facade-built schedule.
+    api_session = None
+    if provider is None:
+        from repro.api.executors import dynamic_result_payload
+        from repro.api.requests import ScheduleRouteRequest
+        from repro.api.session import Session
+
+        api_session = Session()
+
     static_engine = prepare(base)
     for s, t in pairs:
         result = engine.route(s, t, provider=provider)
         tally.pairs += 1
         tally.delivered += int(result.outcome is DynamicOutcome.DELIVERED)
         tally.detected += int(result.outcome is DynamicOutcome.REPORTED_FAILURE)
+
+        if api_session is not None:
+            api_result = api_session.submit(
+                ScheduleRouteRequest(scenario=spec, pairs=((s, t),))
+            )
+            check(
+                s, t, "api-parity",
+                api_result.payload["results"] == [dynamic_result_payload(result)],
+                f"api={api_result.payload['results']} engine={result}",
+            )
 
         reference = reference_route_over_schedule(schedule, s, t, provider=provider)
         check(

@@ -33,6 +33,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.deprecation import warn_once
 from repro.errors import ExperimentError
 from repro.graphs import generators
 from repro.graphs.labeled_graph import LabeledGraph
@@ -398,7 +399,22 @@ def run_parameter_sweep(
     that carries state across calls (a shared RNG, an accumulating counter)
     would see that state reset per worker and silently diverge from the
     serial reference.
+
+    Deprecated kwargs-style form: new code should submit a
+    :class:`repro.api.SweepRequest` (scenario × router grids) through
+    :class:`repro.api.Session`.  When a custom ``evaluate`` body really is
+    needed, call :func:`reference_run_parameter_sweep` (serial) or
+    :func:`repro.analysis.runner.map_scenario_rows` (the same process-pool
+    fan-out this function's parallel branch uses).  Emits one
+    :class:`DeprecationWarning` per process; results are unchanged.
     """
+    warn_once(
+        "experiments.run_parameter_sweep",
+        "run_parameter_sweep(...) is deprecated; submit a "
+        "repro.api.SweepRequest through repro.api.Session — for custom "
+        "evaluate bodies use reference_run_parameter_sweep (serial) or "
+        "repro.analysis.runner.map_scenario_rows (parallel) instead",
+    )
     if workers <= 1:
         return reference_run_parameter_sweep(experiment, headers, scenarios, evaluate)
     # Imported lazily: runner imports this module for the spec/table types.

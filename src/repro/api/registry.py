@@ -1,0 +1,374 @@
+"""The task registry: one :class:`TaskSpec` per task the API exposes.
+
+Each spec binds a task name to its request type, its argparse argument set
+and its backend routing — which is everything the CLI needs to *generate*
+its subcommands instead of hand-writing them: ``repro.cli`` iterates
+:data:`TASKS`, builds one subparser per spec, turns the parsed namespace into
+a request with :attr:`TaskSpec.build` and submits it through one
+:class:`~repro.api.session.Session`.  Adding a task therefore means adding a
+request type, an executor and one entry here; the CLI, the envelope codec
+and the documentation checker (``tools/check_docs.py`` asserts every
+registered task is documented in ``docs/api.md``) pick it up from the
+registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analysis.experiments import (
+    SCENARIO_FAMILIES,
+    SCHEDULE_MUTATIONS,
+    ScenarioSpec,
+    structured_scenarios,
+    unit_disk_scenarios,
+)
+from repro.errors import TaskError
+from repro.api.requests import (
+    BroadcastRequest,
+    CompareRequest,
+    ConformanceRequest,
+    ConnectivityRequest,
+    CountRequest,
+    RouteBatchRequest,
+    RouteRequest,
+    ScheduleRouteRequest,
+    SweepRequest,
+    TaskRequest,
+)
+
+__all__ = ["TaskSpec", "TASKS", "task_by_name", "scenario_from_args"]
+
+#: Topology families every network-generating subcommand understands — the
+#: canonical list lives next to :func:`repro.analysis.experiments.build_scenario`.
+_FAMILY_CHOICES = list(SCENARIO_FAMILIES)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One registered task: request type, CLI argument set, backend routing.
+
+    ``configure`` adds the task's arguments to its generated subparser;
+    ``build`` turns the parsed namespace into the request object; ``backend``
+    picks a backend id for the namespace (``None`` defers to the session's
+    default routing).
+    """
+
+    name: str
+    request_type: type
+    help: str
+    configure: Callable[[argparse.ArgumentParser], None]
+    build: Callable[[argparse.Namespace], TaskRequest]
+    backend: Callable[[argparse.Namespace], Optional[str]] = lambda args: None
+
+
+def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--family",
+        default="unit-disk",
+        choices=_FAMILY_CHOICES,
+        help="topology family to generate",
+    )
+    parser.add_argument("--size", type=int, default=30, help="number of nodes")
+    parser.add_argument("--radius", type=float, default=0.3, help="radio range (unit-disk only)")
+    parser.add_argument("--dimension", type=int, default=2, choices=[2, 3], help="deployment dimension")
+    parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
+    parser.add_argument(
+        "--namespace-bits", type=int, default=32, help="bits of the name space (paper's log n)"
+    )
+
+
+def scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` described by the shared network arguments."""
+    return ScenarioSpec(
+        name=f"cli-{args.family}-{args.size}",
+        family=args.family,
+        size=args.size,
+        seed=args.seed,
+        radius=args.radius if args.family == "unit-disk" else None,
+        dimension=args.dimension,
+        namespace_size=2 ** args.namespace_bits,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Per-task argument sets and request builders
+# --------------------------------------------------------------------------- #
+
+
+def _configure_route(parser: argparse.ArgumentParser) -> None:
+    _add_network_arguments(parser)
+    parser.add_argument("--source", type=int, default=0)
+    parser.add_argument("--target", type=int, default=1)
+
+
+def _build_route(args: argparse.Namespace) -> RouteRequest:
+    return RouteRequest(
+        scenario=scenario_from_args(args), source=args.source, target=args.target
+    )
+
+
+def _configure_source_task(parser: argparse.ArgumentParser) -> None:
+    # Shared by every task whose only input beyond the network is a source
+    # vertex (broadcast, count); task-specific flags do not belong here.
+    _add_network_arguments(parser)
+    parser.add_argument("--source", type=int, default=0)
+
+
+def _build_broadcast(args: argparse.Namespace) -> BroadcastRequest:
+    return BroadcastRequest(scenario=scenario_from_args(args), source=args.source)
+
+
+def _build_count(args: argparse.Namespace) -> CountRequest:
+    return CountRequest(scenario=scenario_from_args(args), source=args.source)
+
+
+def _configure_connectivity(parser: argparse.ArgumentParser) -> None:
+    _add_network_arguments(parser)
+    parser.add_argument("--source", type=int, default=0)
+    parser.add_argument("--target", type=int, default=1)
+
+
+def _build_connectivity(args: argparse.Namespace) -> ConnectivityRequest:
+    return ConnectivityRequest(
+        scenario=scenario_from_args(args), source=args.source, target=args.target
+    )
+
+
+def _configure_compare(parser: argparse.ArgumentParser) -> None:
+    _add_network_arguments(parser)
+    parser.add_argument("--pairs", type=int, default=5, help="number of random source/target pairs")
+
+
+def _build_compare(args: argparse.Namespace) -> CompareRequest:
+    return CompareRequest(
+        scenario=scenario_from_args(args), num_pairs=args.pairs, pair_seed=args.seed
+    )
+
+
+def _configure_route_many(parser: argparse.ArgumentParser) -> None:
+    _add_network_arguments(parser)
+    parser.add_argument(
+        "--pairs", type=int, default=20, help="number of random source/target pairs"
+    )
+
+
+def _build_route_many(args: argparse.Namespace) -> RouteBatchRequest:
+    return RouteBatchRequest(
+        scenario=scenario_from_args(args), num_pairs=args.pairs, pair_seed=args.seed
+    )
+
+
+def _configure_route_schedule(parser: argparse.ArgumentParser) -> None:
+    _add_network_arguments(parser)
+    parser.add_argument(
+        "--pairs", type=int, default=10, help="number of random source/target pairs"
+    )
+    parser.add_argument(
+        "--snapshots", type=int, default=4, help="number of topology snapshots"
+    )
+    parser.add_argument(
+        "--switch-every", type=int, default=8, help="walk steps between switch-overs"
+    )
+    parser.add_argument(
+        "--mutation",
+        default="relabel",
+        choices=list(SCHEDULE_MUTATIONS),
+        help="how each snapshot differs from the previous one",
+    )
+
+
+def _build_route_schedule(args: argparse.Namespace) -> ScheduleRouteRequest:
+    spec = dataclasses.replace(
+        scenario_from_args(args),
+        extra=(
+            ("mutation", args.mutation),
+            ("snapshots", args.snapshots),
+            ("switch_every", args.switch_every),
+        ),
+    )
+    return ScheduleRouteRequest(
+        scenario=spec, num_pairs=args.pairs, pair_seed=args.seed
+    )
+
+
+def _configure_conformance(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--pairs", type=int, default=4, help="source/target pairs per scenario"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes to shard the scenarios across"
+    )
+
+
+def _build_conformance(args: argparse.Namespace) -> ConformanceRequest:
+    return ConformanceRequest(
+        pairs_per_scenario=args.pairs, seed=args.seed, workers=args.workers
+    )
+
+
+def _configure_sweep(parser: argparse.ArgumentParser) -> None:
+    # Imported here (not module level) to keep registry import light; the
+    # SWEEP_ROUTERS tuple pulls in the baselines package.
+    from repro.analysis.runner import SWEEP_ROUTERS
+
+    parser.add_argument(
+        "--families",
+        nargs="+",
+        default=["grid", "ring"],
+        choices=_FAMILY_CHOICES,
+        help="topology families to sweep",
+    )
+    parser.add_argument(
+        "--sizes", nargs="+", type=int, default=[16], help="node counts to sweep"
+    )
+    parser.add_argument(
+        "--scenario-seeds",
+        nargs="+",
+        type=int,
+        default=[0],
+        help="instance seeds per (family, size) cell",
+    )
+    parser.add_argument(
+        "--radius", type=float, default=0.3, help="radio range (unit-disk only)"
+    )
+    parser.add_argument(
+        "--dimension", type=int, default=2, choices=[2, 3], help="deployment dimension"
+    )
+    parser.add_argument(
+        "--pairs", type=int, default=8, help="source/target pairs per shard"
+    )
+    parser.add_argument(
+        "--routers",
+        nargs="+",
+        default=["ues-engine"],
+        choices=list(SWEEP_ROUTERS),
+        help="routers to run on every applicable scenario",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="worker processes (1 = the serial reference path)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="stream completed shards to this JSONL file"
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards whose records are already in --out (after an interrupted run)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed for deterministic per-shard seeding"
+    )
+
+
+def _build_sweep(args: argparse.Namespace) -> SweepRequest:
+    # Flag-worded twin of the SweepRequest field validation, so the CLI error
+    # names the options the user actually typed.
+    if args.resume and args.out is None:
+        raise TaskError("--resume needs --out: there is no shard stream to resume from")
+    scenarios = []
+    for family in args.families:
+        if family == "unit-disk":
+            scenarios.extend(
+                unit_disk_scenarios(
+                    args.sizes,
+                    radius=args.radius,
+                    dimension=args.dimension,
+                    seeds=tuple(args.scenario_seeds),
+                )
+            )
+        else:
+            scenarios.extend(
+                structured_scenarios(family, args.sizes, seeds=tuple(args.scenario_seeds))
+            )
+    return SweepRequest(
+        scenarios=tuple(scenarios),
+        routers=tuple(args.routers),
+        pairs=args.pairs,
+        master_seed=args.seed,
+        workers=args.workers,
+        out_path=args.out,
+        resume=args.resume,
+        experiment="cli-sweep",
+    )
+
+
+#: Every registered task, in CLI/subcommand order.
+TASKS: Tuple[TaskSpec, ...] = (
+    TaskSpec(
+        name="route",
+        request_type=RouteRequest,
+        help="route one message with Algorithm Route",
+        configure=_configure_route,
+        build=_build_route,
+    ),
+    TaskSpec(
+        name="broadcast",
+        request_type=BroadcastRequest,
+        help="broadcast from a source node",
+        configure=_configure_source_task,
+        build=_build_broadcast,
+    ),
+    TaskSpec(
+        name="count",
+        request_type=CountRequest,
+        help="run Algorithm CountNodes from a source",
+        configure=_configure_source_task,
+        build=_build_count,
+    ),
+    TaskSpec(
+        name="connectivity",
+        request_type=ConnectivityRequest,
+        help="decide st-connectivity by walking the exploration sequence",
+        configure=_configure_connectivity,
+        build=_build_connectivity,
+    ),
+    TaskSpec(
+        name="compare",
+        request_type=CompareRequest,
+        help="compare the guaranteed router against the baselines",
+        configure=_configure_compare,
+        build=_build_compare,
+    ),
+    TaskSpec(
+        name="route-many",
+        request_type=RouteBatchRequest,
+        help="batch-route random pairs through the prepared engine",
+        configure=_configure_route_many,
+        build=_build_route_many,
+    ),
+    TaskSpec(
+        name="route-schedule",
+        request_type=ScheduleRouteRequest,
+        help="route random pairs over a dynamic topology schedule (extension)",
+        configure=_configure_route_schedule,
+        build=_build_route_schedule,
+    ),
+    TaskSpec(
+        name="conformance",
+        request_type=ConformanceRequest,
+        help="run the differential conformance harness over the scenario matrix",
+        configure=_configure_conformance,
+        build=_build_conformance,
+    ),
+    TaskSpec(
+        name="sweep",
+        request_type=SweepRequest,
+        help="shard a scenario x router sweep across worker processes",
+        configure=_configure_sweep,
+        build=_build_sweep,
+    ),
+)
+
+
+def task_by_name() -> Dict[str, TaskSpec]:
+    """The registry as a name-keyed mapping."""
+    return {spec.name: spec for spec in TASKS}

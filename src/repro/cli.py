@@ -1,7 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-The CLI exposes the paper's algorithms on generated networks so the library
-can be exercised without writing any Python:
+Every subcommand is *generated* from the task registry
+(:data:`repro.api.registry.TASKS`): the registry names the task, declares its
+argparse arguments and builds its request object, and ``main`` dispatches
+every request — whatever the subcommand — through one
+:class:`repro.api.Session`, so the CLI exercises exactly the public task API
+and nothing else.  The functions below only *render* the uniform
+:class:`~repro.api.envelope.TaskResult` envelopes into tables.
 
 ``python -m repro route --family unit-disk --size 40 --radius 0.3 --source 0 --target 17``
     Route a message with Algorithm ``Route`` and print the outcome, hop count
@@ -14,21 +19,21 @@ can be exercised without writing any Python:
 ``python -m repro count --family unit-disk --size 30 --radius 0.3 --source 0``
     Run Algorithm ``CountNodes`` and print the discovered component size.
 
+``python -m repro connectivity --family grid --size 16 --source 0 --target 15``
+    Decide st-connectivity by walking the exploration sequence (the USTCON
+    face of the routing algorithm) and print the walk accounting.
+
 ``python -m repro compare --family unit-disk --size 30 --radius 0.3 --pairs 5``
     Route the same random pairs with the guaranteed router and every baseline
     and print the comparison table (a miniature of experiment E3).
 
 ``python -m repro route-many --family grid --size 144 --pairs 20``
-    Batch-route random pairs through the prepared engine
-    (:meth:`~repro.core.engine.PreparedNetwork.route_many`) and print per-pair
+    Batch-route random pairs through the prepared engine and print per-pair
     outcomes plus the aggregate throughput.
 
 ``python -m repro route-schedule --family grid --size 16 --snapshots 4 --mutation relabel --pairs 10``
     Route random pairs over a *dynamic* topology schedule (the extension
-    beyond the paper's static model) through the schedule-aware engine
-    (:class:`~repro.core.engine.PreparedSchedule`): the base topology plus
-    ``--snapshots`` mutated snapshots switching every ``--switch-every``
-    walk steps.
+    beyond the paper's static model) through the schedule-aware backend.
 
 ``python -m repro conformance``
     Run the differential conformance harness over the default scenario
@@ -37,463 +42,126 @@ can be exercised without writing any Python:
     the scenarios across worker processes.
 
 ``python -m repro sweep --families grid ring --sizes 16 36 --workers 4 --out sweep.jsonl``
-    Shard a scenario × router sweep across worker processes
-    (:mod:`repro.analysis.runner`): each completed shard streams to the
-    ``--out`` JSONL file, ``--resume`` skips shards already on disk after an
-    interrupted run, and the aggregated table is row-for-row identical to a
-    serial run (``--workers 1``) with the same master seed.
+    Shard a scenario × router sweep across worker processes; the summary
+    line reports the backend that ran the task plus the session/process
+    cache statistics.
 
-All commands accept ``--seed`` for reproducibility and ``--dimension 3`` for
-unit-ball (3D) deployments.  Exit status is 0 on success, 2 on bad arguments.
-Every subcommand is documented with copy-pasteable invocations in
-``docs/cli.md``.
+All network-generating commands accept ``--seed`` for reproducibility and
+``--dimension 3`` for unit-ball (3D) deployments.  Exit status is 0 on
+success, 2 on bad arguments.  Every subcommand is documented with
+copy-pasteable invocations in ``docs/cli.md``; the task catalogue behind
+them lives in ``docs/api.md``.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
-import os
 import sys
-import time
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, TextIO
 
-from repro.analysis.conformance import run_conformance
-from repro.analysis.experiments import (
-    SCENARIO_FAMILIES,
-    SCHEDULE_MUTATIONS,
-    ScenarioSpec,
-    build_scenario,
-    build_schedule,
-    pick_source_target_pairs,
-    structured_scenarios,
-    unit_disk_scenarios,
-)
-from repro.analysis.runner import SWEEP_ROUTERS, plan_sweep, run_sweep
-from repro.analysis.metrics import (
-    delivery_rate,
-    failure_detection_rate,
-    mean_hops,
-    observation_from_attempt,
-    observation_from_route,
-)
 from repro.analysis.reporting import format_table
-from repro.baselines.dfs_routing import dfs_token_route
-from repro.baselines.flooding import flood_broadcast, flood_route
-from repro.baselines.greedy_geo import greedy_geographic_route
-from repro.baselines.random_walk_routing import random_walk_route
-from repro.core.broadcast import broadcast
-from repro.core.counting import count_nodes
-from repro.core.engine import prepare, prepare_schedule
+from repro.api.envelope import TaskResult
+from repro.api.registry import TASKS, task_by_name
+from repro.api.session import Session
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
 
-#: Topology families every network-generating subcommand understands — the
-#: canonical list lives next to :func:`repro.analysis.experiments.build_scenario`.
-_FAMILY_CHOICES = list(SCENARIO_FAMILIES)
-
-
-def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--family",
-        default="unit-disk",
-        choices=_FAMILY_CHOICES,
-        help="topology family to generate",
-    )
-    parser.add_argument("--size", type=int, default=30, help="number of nodes")
-    parser.add_argument("--radius", type=float, default=0.3, help="radio range (unit-disk only)")
-    parser.add_argument("--dimension", type=int, default=2, choices=[2, 3], help="deployment dimension")
-    parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
-    parser.add_argument(
-        "--namespace-bits", type=int, default=32, help="bits of the name space (paper's log n)"
-    )
-
-
-def _scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
-    return ScenarioSpec(
-        name=f"cli-{args.family}-{args.size}",
-        family=args.family,
-        size=args.size,
-        seed=args.seed,
-        radius=args.radius if args.family == "unit-disk" else None,
-        dimension=args.dimension,
-        namespace_size=2 ** args.namespace_bits,
-    )
-
-
 def build_parser() -> argparse.ArgumentParser:
-    """Build the top-level argument parser (exposed for testing)."""
+    """Build the top-level parser: one subcommand per registered task."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Guaranteed ad hoc routing via universal exploration sequences (Braverman, PODC 2008)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-
-    route_parser = subparsers.add_parser("route", help="route one message with Algorithm Route")
-    _add_network_arguments(route_parser)
-    route_parser.add_argument("--source", type=int, default=0)
-    route_parser.add_argument("--target", type=int, default=1)
-
-    broadcast_parser = subparsers.add_parser("broadcast", help="broadcast from a source node")
-    _add_network_arguments(broadcast_parser)
-    broadcast_parser.add_argument("--source", type=int, default=0)
-
-    count_parser = subparsers.add_parser("count", help="run Algorithm CountNodes from a source")
-    _add_network_arguments(count_parser)
-    count_parser.add_argument("--source", type=int, default=0)
-
-    compare_parser = subparsers.add_parser(
-        "compare", help="compare the guaranteed router against the baselines"
-    )
-    _add_network_arguments(compare_parser)
-    compare_parser.add_argument("--pairs", type=int, default=5, help="number of random source/target pairs")
-
-    route_many_parser = subparsers.add_parser(
-        "route-many", help="batch-route random pairs through the prepared engine"
-    )
-    _add_network_arguments(route_many_parser)
-    route_many_parser.add_argument(
-        "--pairs", type=int, default=20, help="number of random source/target pairs"
-    )
-
-    route_schedule_parser = subparsers.add_parser(
-        "route-schedule",
-        help="route random pairs over a dynamic topology schedule (extension)",
-    )
-    _add_network_arguments(route_schedule_parser)
-    route_schedule_parser.add_argument(
-        "--pairs", type=int, default=10, help="number of random source/target pairs"
-    )
-    route_schedule_parser.add_argument(
-        "--snapshots", type=int, default=4, help="number of topology snapshots"
-    )
-    route_schedule_parser.add_argument(
-        "--switch-every", type=int, default=8, help="walk steps between switch-overs"
-    )
-    route_schedule_parser.add_argument(
-        "--mutation",
-        default="relabel",
-        choices=list(SCHEDULE_MUTATIONS),
-        help="how each snapshot differs from the previous one",
-    )
-
-    conformance_parser = subparsers.add_parser(
-        "conformance",
-        help="run the differential conformance harness over the scenario matrix",
-    )
-    conformance_parser.add_argument(
-        "--pairs", type=int, default=4, help="source/target pairs per scenario"
-    )
-    conformance_parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
-    conformance_parser.add_argument(
-        "--workers", type=int, default=1, help="worker processes to shard the scenarios across"
-    )
-
-    sweep_parser = subparsers.add_parser(
-        "sweep", help="shard a scenario x router sweep across worker processes"
-    )
-    sweep_parser.add_argument(
-        "--families",
-        nargs="+",
-        default=["grid", "ring"],
-        choices=_FAMILY_CHOICES,
-        help="topology families to sweep",
-    )
-    sweep_parser.add_argument(
-        "--sizes", nargs="+", type=int, default=[16], help="node counts to sweep"
-    )
-    sweep_parser.add_argument(
-        "--scenario-seeds",
-        nargs="+",
-        type=int,
-        default=[0],
-        help="instance seeds per (family, size) cell",
-    )
-    sweep_parser.add_argument(
-        "--radius", type=float, default=0.3, help="radio range (unit-disk only)"
-    )
-    sweep_parser.add_argument(
-        "--dimension", type=int, default=2, choices=[2, 3], help="deployment dimension"
-    )
-    sweep_parser.add_argument(
-        "--pairs", type=int, default=8, help="source/target pairs per shard"
-    )
-    sweep_parser.add_argument(
-        "--routers",
-        nargs="+",
-        default=["ues-engine"],
-        choices=list(SWEEP_ROUTERS),
-        help="routers to run on every applicable scenario",
-    )
-    sweep_parser.add_argument(
-        "--workers",
-        type=int,
-        default=os.cpu_count() or 1,
-        help="worker processes (1 = the serial reference path)",
-    )
-    sweep_parser.add_argument(
-        "--out", default=None, help="stream completed shards to this JSONL file"
-    )
-    sweep_parser.add_argument(
-        "--resume",
-        action="store_true",
-        help="skip shards whose records are already in --out (after an interrupted run)",
-    )
-    sweep_parser.add_argument(
-        "--seed", type=int, default=0, help="master seed for deterministic per-shard seeding"
-    )
-
+    for spec in TASKS:
+        spec.configure(subparsers.add_parser(spec.name, help=spec.help))
     return parser
 
 
-def _command_route(args: argparse.Namespace, out) -> int:
-    network = build_scenario(_scenario_from_args(args))
-    result = prepare(network.graph).route(
-        args.source,
-        args.target,
-        namespace_size=network.namespace_size,
+# --------------------------------------------------------------------------- #
+# Renderers: TaskResult envelope -> human-readable tables
+# --------------------------------------------------------------------------- #
+
+
+def _render_route(result: TaskResult, args, session: Session, out: TextIO) -> int:
+    payload = result.payload
+    rows = [
+        ["outcome", payload["outcome"]],
+        ["physical hops", payload["physical_hops"]],
+        ["forward walk steps", payload["forward_virtual_steps"]],
+        ["backtrack steps", payload["backward_virtual_steps"]],
+        ["size bound |C'_s|", payload["size_bound"]],
+        ["sequence length", payload["sequence_length"]],
+        ["header overhead (bits)", payload["header_bits"]],
+    ]
+    print(
+        format_table(["quantity", "value"], rows, title=f"route {args.source} -> {args.target}"),
+        file=out,
     )
-    rows = [
-        ["outcome", result.outcome.value],
-        ["physical hops", result.physical_hops],
-        ["forward walk steps", result.forward_virtual_steps],
-        ["backtrack steps", result.backward_virtual_steps],
-        ["size bound |C'_s|", result.size_bound],
-        ["sequence length", result.sequence_length],
-        ["header overhead (bits)", result.header_bits],
-    ]
-    print(format_table(["quantity", "value"], rows, title=f"route {args.source} -> {args.target}"), file=out)
     return 0
 
 
-def _command_broadcast(args: argparse.Namespace, out) -> int:
-    network = build_scenario(_scenario_from_args(args))
-    result = broadcast(network.graph, args.source)
-    flood = flood_broadcast(network.graph, args.source)
+def _render_broadcast(result: TaskResult, args, session: Session, out: TextIO) -> int:
+    payload = result.payload
     rows = [
-        ["component size", result.component_size],
-        ["nodes reached", result.reach_count],
-        ["covered component", result.covered_component],
-        ["walk transmissions", result.physical_hops],
-        ["flooding transmissions", flood.transmissions],
-        ["flooding rounds", flood.rounds],
+        ["component size", payload["component_size"]],
+        ["nodes reached", payload["reach_count"]],
+        ["covered component", payload["covered_component"]],
+        ["walk transmissions", payload["physical_hops"]],
+        ["flooding transmissions", payload["flooding"]["transmissions"]],
+        ["flooding rounds", payload["flooding"]["rounds"]],
     ]
-    print(format_table(["quantity", "value"], rows, title=f"broadcast from {args.source}"), file=out)
+    print(
+        format_table(["quantity", "value"], rows, title=f"broadcast from {args.source}"),
+        file=out,
+    )
     return 0
 
 
-def _command_count(args: argparse.Namespace, out) -> int:
-    network = build_scenario(_scenario_from_args(args))
-    result = count_nodes(network.graph, args.source)
+def _render_count(result: TaskResult, args, session: Session, out: TextIO) -> int:
+    payload = result.payload
     rows = [
-        ["original nodes in C_s", result.original_count],
-        ["virtual nodes in C'_s", result.virtual_count],
-        ["doubling rounds", result.rounds],
-        ["final bound 2^k", result.final_bound],
-        ["walk steps", result.walk_steps],
+        ["original nodes in C_s", payload["original_count"]],
+        ["virtual nodes in C'_s", payload["virtual_count"]],
+        ["doubling rounds", payload["rounds"]],
+        ["final bound 2^k", payload["final_bound"]],
+        ["walk steps", payload["walk_steps"]],
     ]
-    print(format_table(["quantity", "value"], rows, title=f"CountNodes from {args.source}"), file=out)
+    print(
+        format_table(["quantity", "value"], rows, title=f"CountNodes from {args.source}"),
+        file=out,
+    )
     return 0
 
 
-def _command_route_many(args: argparse.Namespace, out) -> int:
-    network = build_scenario(_scenario_from_args(args))
-    pairs = pick_source_target_pairs(network, args.pairs, seed=args.seed)
-    engine = prepare(network.graph)
-    started = time.perf_counter()
-    results = engine.route_many(pairs, namespace_size=network.namespace_size)
-    elapsed = time.perf_counter() - started
+def _render_connectivity(result: TaskResult, args, session: Session, out: TextIO) -> int:
+    payload = result.payload
     rows = [
-        [source, target, result.outcome.value, result.total_virtual_steps, result.physical_hops]
-        for (source, target), result in zip(pairs, results)
+        ["connected", payload["connected"]],
+        ["walk steps", payload["walk_steps"]],
+        ["sequence length", payload["sequence_length"]],
+        ["size bound |C'_s|", payload["size_bound"]],
+        ["decided early", payload["decided_early"]],
     ]
     print(
         format_table(
-            ["source", "target", "outcome", "virtual steps", "physical hops"],
+            ["quantity", "value"],
             rows,
-            title=f"route_many: {len(pairs)} pairs on {args.family} (n={args.size})",
+            title=f"connectivity {args.source} <-> {args.target}",
         ),
-        file=out,
-    )
-    delivered = sum(1 for result in results if result.delivered)
-    rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
-    print(
-        f"delivered {delivered}/{len(pairs)}; {elapsed:.3f}s total, {rate:.0f} routes/s",
         file=out,
     )
     return 0
 
 
-def _command_route_schedule(args: argparse.Namespace, out) -> int:
-    spec = dataclasses.replace(
-        _scenario_from_args(args),
-        extra=(
-            ("mutation", args.mutation),
-            ("snapshots", args.snapshots),
-            ("switch_every", args.switch_every),
-        ),
-    )
-    schedule = build_schedule(spec)
-    engine = prepare_schedule(schedule)
-    # Snapshot 0 *is* the spec's base topology; no need to rebuild the
-    # scenario just to pick pairs from the same vertex set.
-    pairs = pick_source_target_pairs(schedule.snapshots[0], args.pairs, seed=args.seed)
-    started = time.perf_counter()
-    results = engine.route_many(pairs)
-    elapsed = time.perf_counter() - started
-    rows = [
-        [
-            source,
-            target,
-            result.outcome.value,
-            result.steps_taken,
-            result.switches_survived,
-            result.sound,
-        ]
-        for (source, target), result in zip(pairs, results)
-    ]
+def _render_compare(result: TaskResult, args, session: Session, out: TextIO) -> int:
+    payload = result.payload
     print(
         format_table(
-            ["source", "target", "outcome", "steps", "switches", "sound"],
-            rows,
-            title=(
-                f"route-schedule: {len(pairs)} pairs on {args.family} (n={args.size}), "
-                f"{args.snapshots} snapshots ({args.mutation}), "
-                f"switch every {args.switch_every} steps"
-            ),
-        ),
-        file=out,
-    )
-    delivered = sum(1 for result in results if result.outcome.value == "delivered")
-    rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
-    print(
-        f"delivered {delivered}/{len(pairs)}; "
-        f"{engine.num_compiled_kernels} kernels compiled for {engine.num_snapshots} "
-        f"snapshots; {elapsed:.3f}s total, {rate:.0f} routes/s",
-        file=out,
-    )
-    return 0
-
-
-def _command_sweep(args: argparse.Namespace, out) -> int:
-    if args.resume and args.out is None:
-        raise ReproError("--resume needs --out: there is no shard stream to resume from")
-    scenarios = []
-    for family in args.families:
-        if family == "unit-disk":
-            scenarios.extend(
-                unit_disk_scenarios(
-                    args.sizes,
-                    radius=args.radius,
-                    dimension=args.dimension,
-                    seeds=tuple(args.scenario_seeds),
-                )
-            )
-        else:
-            scenarios.extend(
-                structured_scenarios(family, args.sizes, seeds=tuple(args.scenario_seeds))
-            )
-    plan = plan_sweep(
-        scenarios,
-        routers=tuple(args.routers),
-        pairs=args.pairs,
-        master_seed=args.seed,
-        experiment="cli-sweep",
-    )
-    started = time.perf_counter()
-    outcome = run_sweep(plan, workers=args.workers, out_path=args.out, resume=args.resume)
-    elapsed = time.perf_counter() - started
-    table = outcome.table
-    print(
-        format_table(
-            table.headers,
-            table.rows,
-            title=(
-                f"sweep: {outcome.shards_total} shards "
-                f"({len(scenarios)} scenarios x {len(args.routers)} routers, "
-                f"{args.pairs} pairs each)"
-            ),
-        ),
-        file=out,
-    )
-    rate = outcome.shards_executed / elapsed if elapsed > 0 else float("inf")
-    print(
-        f"{outcome.shards_executed} shards executed, "
-        f"{outcome.shards_skipped} resumed from disk; "
-        f"{len(table.rows)} rows; {elapsed:.3f}s with {args.workers} workers "
-        f"({rate:.1f} shards/s)",
-        file=out,
-    )
-    if args.out is not None:
-        print(f"[streamed to {args.out}]", file=out)
-    return 0
-
-
-def _command_conformance(args: argparse.Namespace, out) -> int:
-    report = run_conformance(
-        pairs_per_scenario=args.pairs, seed=args.seed, workers=args.workers
-    )
-    print(report.table(), file=out)
-    if report.ok:
-        print(f"ok: {report.checks} checks, no violations", file=out)
-        return 0
-    print(f"FAIL: {len(report.violations)} violations in {report.checks} checks", file=out)
-    for violation in report.violations[:20]:
-        print(
-            f"  {violation.scenario} {violation.router} "
-            f"{violation.source}->{violation.target}: {violation.invariant} {violation.detail}",
-            file=out,
-        )
-    return 1
-
-
-def _command_compare(args: argparse.Namespace, out) -> int:
-    network = build_scenario(_scenario_from_args(args))
-    graph, deployment = network.graph, network.deployment
-    pairs = pick_source_target_pairs(network, args.pairs, seed=args.seed)
-    engine = prepare(graph)
-    observations = {"ues-route": [], "random-walk": [], "flooding": [], "dfs-token": []}
-    if deployment is not None:
-        observations["greedy"] = []
-    for source, target in pairs:
-        observations["ues-route"].append(
-            observation_from_route(graph, engine.route(source, target))
-        )
-        observations["random-walk"].append(
-            observation_from_attempt(
-                graph, source, target, random_walk_route(graph, source, target, seed=args.seed)
-            )
-        )
-        observations["flooding"].append(
-            observation_from_attempt(graph, source, target, flood_route(graph, source, target))
-        )
-        observations["dfs-token"].append(
-            observation_from_attempt(graph, source, target, dfs_token_route(graph, source, target))
-        )
-        if deployment is not None:
-            observations["greedy"].append(
-                observation_from_attempt(
-                    graph, source, target, greedy_geographic_route(graph, deployment, source, target)
-                )
-            )
-    rows = []
-    for name, obs in observations.items():
-        rows.append(
-            [
-                name,
-                len(obs),
-                round(delivery_rate(obs), 3),
-                round(failure_detection_rate(obs), 3),
-                round(mean_hops(obs) or 0.0, 1),
-                max(o.per_node_state_bits for o in obs),
-            ]
-        )
-    print(
-        format_table(
-            ["algorithm", "pairs", "delivery", "failure detection", "mean hops", "node state bits"],
-            rows,
+            payload["headers"],
+            payload["rows"],
             title=f"comparison on {args.family} (n={args.size}, seed={args.seed})",
         ),
         file=out,
@@ -501,23 +169,155 @@ def _command_compare(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _render_route_many(result: TaskResult, args, session: Session, out: TextIO) -> int:
+    payload = result.payload
+    rows = [
+        [
+            source,
+            target,
+            route["outcome"],
+            route["forward_virtual_steps"] + route["backward_virtual_steps"],
+            route["physical_hops"],
+        ]
+        for (source, target), route in zip(payload["pairs"], payload["results"])
+    ]
+    print(
+        format_table(
+            ["source", "target", "outcome", "virtual steps", "physical hops"],
+            rows,
+            title=f"route_many: {len(rows)} pairs on {args.family} (n={args.size})",
+        ),
+        file=out,
+    )
+    elapsed = result.elapsed_seconds
+    rate = len(rows) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"delivered {payload['delivered']}/{len(rows)}; {elapsed:.3f}s total, {rate:.0f} routes/s",
+        file=out,
+    )
+    return 0
+
+
+def _render_route_schedule(result: TaskResult, args, session: Session, out: TextIO) -> int:
+    payload = result.payload
+    rows = [
+        [
+            source,
+            target,
+            route["outcome"],
+            route["steps_taken"],
+            route["switches_survived"],
+            route["sound"],
+        ]
+        for (source, target), route in zip(payload["pairs"], payload["results"])
+    ]
+    print(
+        format_table(
+            ["source", "target", "outcome", "steps", "switches", "sound"],
+            rows,
+            title=(
+                f"route-schedule: {len(rows)} pairs on {args.family} (n={args.size}), "
+                f"{args.snapshots} snapshots ({args.mutation}), "
+                f"switch every {args.switch_every} steps"
+            ),
+        ),
+        file=out,
+    )
+    elapsed = result.elapsed_seconds
+    rate = len(rows) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"delivered {payload['delivered']}/{len(rows)}; "
+        f"{payload['num_compiled_kernels']} kernels compiled for "
+        f"{payload['num_snapshots']} snapshots; {elapsed:.3f}s total, {rate:.0f} routes/s",
+        file=out,
+    )
+    return 0
+
+
+def _render_conformance(result: TaskResult, args, session: Session, out: TextIO) -> int:
+    payload = result.payload
+    print(
+        format_table(payload["headers"], payload["rows"], title="differential conformance"),
+        file=out,
+    )
+    if payload["ok"]:
+        print(f"ok: {payload['checks']} checks, no violations", file=out)
+        return 0
+    violations = payload["violations"]
+    print(f"FAIL: {len(violations)} violations in {payload['checks']} checks", file=out)
+    for violation in violations[:20]:
+        print(
+            f"  {violation['scenario']} {violation['router']} "
+            f"{violation['source']}->{violation['target']}: "
+            f"{violation['invariant']} {violation['detail']}",
+            file=out,
+        )
+    return 1
+
+
+def _render_sweep(result: TaskResult, args, session: Session, out: TextIO) -> int:
+    payload = result.payload
+    print(
+        format_table(
+            payload["headers"],
+            payload["rows"],
+            title=(
+                f"sweep: {payload['shards_total']} shards "
+                f"({payload['num_scenarios']} scenarios x {len(args.routers)} routers, "
+                f"{args.pairs} pairs each)"
+            ),
+        ),
+        file=out,
+    )
+    elapsed = result.elapsed_seconds
+    rate = payload["shards_executed"] / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{payload['shards_executed']} shards executed, "
+        f"{payload['shards_skipped']} resumed from disk; "
+        f"{len(payload['rows'])} rows; {elapsed:.3f}s with {args.workers} workers "
+        f"({rate:.1f} shards/s)",
+        file=out,
+    )
+    cache = session.cache_info()
+    cache_summary = " ".join(f"{key}={cache[key]}" for key in sorted(cache))
+    print(f"[backend={result.backend} workers={args.workers}; cache: {cache_summary}]", file=out)
+    if payload["out_path"] is not None:
+        print(f"[streamed to {payload['out_path']}]", file=out)
+    return 0
+
+
+#: Renderer per task name; every task in the registry must have one.
+_RENDERERS: Dict[str, Callable[[TaskResult, argparse.Namespace, Session, TextIO], int]] = {
+    "route": _render_route,
+    "broadcast": _render_broadcast,
+    "count": _render_count,
+    "connectivity": _render_connectivity,
+    "compare": _render_compare,
+    "route-many": _render_route_many,
+    "route-schedule": _render_route_schedule,
+    "conformance": _render_conformance,
+    "sweep": _render_sweep,
+}
+
+assert set(_RENDERERS) == {spec.name for spec in TASKS}
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
-    """CLI entry point; returns the process exit status."""
+    """CLI entry point; returns the process exit status.
+
+    One code path for every subcommand: look the task up in the registry,
+    build its request from the parsed arguments, submit it through the
+    session, render the envelope.
+    """
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {
-        "route": _command_route,
-        "broadcast": _command_broadcast,
-        "count": _command_count,
-        "compare": _command_compare,
-        "route-many": _command_route_many,
-        "route-schedule": _command_route_schedule,
-        "conformance": _command_conformance,
-        "sweep": _command_sweep,
-    }
+    spec = task_by_name()[args.command]
+    session = Session()
     try:
-        return handlers[args.command](args, out)
+        request = spec.build(args)
+        result = session.submit(request, backend=spec.backend(args))
+        return _RENDERERS[spec.name](result, args, session, out)
     except ReproError as error:
         print(f"error: {error}", file=out)
         return 2

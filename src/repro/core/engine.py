@@ -75,6 +75,7 @@ from repro.core.routing import (
 )
 from repro.core.universal import SequenceProvider
 from repro.core.walk_kernel import CompiledWalk
+from repro.deprecation import warn_once
 from repro.errors import RoutingError
 from repro.graphs.degree_reduction import DegreeReducedGraph, reduce_to_three_regular
 from repro.graphs.labeled_graph import LabeledGraph
@@ -524,7 +525,20 @@ def route_many(
     start_port: int = 0,
     namespace_size: Optional[int] = None,
 ) -> List[RouteResult]:
-    """Batch-route ``pairs`` on ``graph`` through the shared prepared engine."""
+    """Batch-route ``pairs`` on ``graph`` through the shared prepared engine.
+
+    Deprecated free-function form: new code should submit a
+    :class:`repro.api.RouteBatchRequest` through :class:`repro.api.Session`
+    (or call :meth:`PreparedNetwork.route_many` on a prepared engine, which
+    is what both paths execute).  Emits one :class:`DeprecationWarning` per
+    process; results are unchanged.
+    """
+    warn_once(
+        "engine.route_many",
+        "repro.core.engine.route_many(...) is deprecated; submit a "
+        "repro.api.RouteBatchRequest through repro.api.Session (or use "
+        "PreparedNetwork.route_many) instead",
+    )
     return prepare(graph).route_many(
         pairs,
         provider=provider,
@@ -810,11 +824,18 @@ def prepared_cache_info() -> Dict[str, int]:
     Every process (the main one and each sweep worker) has its own caches, so
     the numbers describe local behaviour only; the sweep runner can surface
     them to verify that rotation-identical graphs really compiled once per
-    process.
+    process.  ``offset_entries`` totals the per-engine ``(provider, bound)``
+    offset-tuple caches, so a session can see sequence materialisation cost
+    too; :meth:`repro.api.Session.cache_info` merges these numbers with the
+    session-scoped scenario-cache counters (the ``repro sweep`` summary line
+    prints that merged view).
     """
     info = dict(_CACHE_COUNTERS)
     info["engines"] = len(_ENGINE_CACHE)
     info["schedules"] = len(_SCHEDULE_CACHE)
+    info["offset_entries"] = sum(
+        len(engine._offsets_cache) for engine in _ENGINE_CACHE.values()
+    )
     return info
 
 

@@ -1,0 +1,36 @@
+"""Warn-once deprecation machinery for the legacy free functions.
+
+The unified task API (:mod:`repro.api`) supersedes the kwargs-style free
+functions that accumulated around the engine (``engine.route_many``,
+``dynamics.route_many_over_schedule``, direct ``run_parameter_sweep`` /
+``run_conformance`` calls).  Those functions keep working bit-for-bit — they
+delegate to exactly the code the new backends run — but each now emits a
+*single* :class:`DeprecationWarning` per process pointing at its
+:mod:`repro.api` equivalent, so long-running services are not spammed while
+test suites still see the signal.
+
+``reset_warnings`` exists for the tests that assert the warn-once contract.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_once", "reset_warnings"]
+
+#: Deprecation keys that have already warned in this process.
+_WARNED: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` the first time it is seen."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warnings() -> None:
+    """Forget which keys warned (test hook for the warn-once contract)."""
+    _WARNED.clear()

@@ -24,6 +24,7 @@ __all__ = [
     "ProtocolViolation",
     "GeometryError",
     "ExperimentError",
+    "TaskError",
 ]
 
 
@@ -98,3 +99,12 @@ class GeometryError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment/benchmark harness was configured inconsistently."""
+
+
+class TaskError(ReproError):
+    """A :mod:`repro.api` task request was malformed or misrouted.
+
+    Raised for API-layer misuse — an unknown backend id, a request type a
+    backend does not support, a schedule task built from a non-dynamic
+    scenario — never for a *routing* outcome (failure confirmations are
+    ordinary results, not errors)."""

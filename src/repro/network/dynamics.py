@@ -36,6 +36,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.core.exploration import WalkState, step_backward, step_forward
 from repro.core.universal import SequenceProvider
+from repro.deprecation import warn_once
 from repro.errors import GraphStructureError, RoutingError
 from repro.graphs.connectivity import are_connected, connected_component
 from repro.graphs.degree_reduction import DegreeReducedGraph, reduce_to_three_regular
@@ -185,7 +186,20 @@ def route_many_over_schedule(
 
     The batch counterpart of :func:`route_over_schedule`: the per-snapshot
     compilation is paid once for the whole batch.
+
+    Deprecated free-function form: new code should submit a
+    :class:`repro.api.ScheduleRouteRequest` through
+    :class:`repro.api.Session` (or call
+    :meth:`~repro.core.engine.PreparedSchedule.route_many` on a prepared
+    schedule, which is what both paths execute).  Emits one
+    :class:`DeprecationWarning` per process; results are unchanged.
     """
+    warn_once(
+        "dynamics.route_many_over_schedule",
+        "route_many_over_schedule(...) is deprecated; submit a "
+        "repro.api.ScheduleRouteRequest through repro.api.Session (or use "
+        "PreparedSchedule.route_many) instead",
+    )
     validate_schedule(schedule)
     from repro.core.engine import prepare_schedule
 

@@ -1,0 +1,143 @@
+"""Deprecation path of the legacy free functions.
+
+Each deprecated entry point must (a) emit exactly one ``DeprecationWarning``
+per process — warn-once, so services are not spammed — pointing at its
+:mod:`repro.api` equivalent, and (b) keep producing results identical to the
+new path (the shim and the backend execute the same code).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.analysis.conformance import conformance_pass, run_conformance
+from repro.analysis.experiments import (
+    ScenarioSpec,
+    build_scenario,
+    build_schedule,
+    reference_run_parameter_sweep,
+    run_parameter_sweep,
+)
+from repro.api import RouteBatchRequest, ScheduleRouteRequest, Session
+from repro.api.executors import dynamic_result_payload, route_result_payload
+from repro.core.engine import route_many
+from repro.deprecation import reset_warnings
+from repro.network.dynamics import route_many_over_schedule
+
+GRID = ScenarioSpec(name="dep-grid-16", family="grid", size=16, seed=0)
+DYN = ScenarioSpec(
+    name="dep-dyn-ring-8",
+    family="ring",
+    size=8,
+    seed=0,
+    extra=(("mutation", "relabel"), ("snapshots", 3), ("switch_every", 4)),
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_warnings()
+    yield
+    reset_warnings()
+
+
+def _collect_deprecations(fn):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = fn()
+    return value, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+def test_engine_route_many_warns_once_and_matches_api():
+    network = build_scenario(GRID)
+    pairs = [(0, 15), (3, 9)]
+
+    first, warned = _collect_deprecations(lambda: route_many(network.graph, pairs))
+    assert len(warned) == 1
+    assert "RouteBatchRequest" in str(warned[0].message)
+
+    _second, warned_again = _collect_deprecations(lambda: route_many(network.graph, pairs))
+    assert warned_again == []  # warn-once per process
+
+    api_result = Session().submit(
+        RouteBatchRequest(scenario=GRID, pairs=tuple(pairs))
+    )
+    assert api_result.payload["results"] == [route_result_payload(r) for r in first]
+
+
+def test_route_many_over_schedule_warns_once_and_matches_api():
+    schedule = build_schedule(DYN)
+    pairs = [(0, 5), (2, 7)]
+
+    first, warned = _collect_deprecations(
+        lambda: route_many_over_schedule(schedule, pairs)
+    )
+    assert len(warned) == 1
+    assert "ScheduleRouteRequest" in str(warned[0].message)
+
+    _second, warned_again = _collect_deprecations(
+        lambda: route_many_over_schedule(schedule, pairs)
+    )
+    assert warned_again == []
+
+    api_result = Session().submit(
+        ScheduleRouteRequest(scenario=DYN, pairs=tuple(pairs))
+    )
+    assert api_result.payload["results"] == [dynamic_result_payload(r) for r in first]
+
+
+def test_run_parameter_sweep_warns_once_and_matches_reference():
+    scenarios = [GRID]
+    headers = ["name", "edges"]
+
+    def evaluate(spec, network):
+        return [[spec.name, network.graph.num_edges]]
+
+    first, warned = _collect_deprecations(
+        lambda: run_parameter_sweep("dep", headers, scenarios, evaluate)
+    )
+    assert len(warned) == 1
+    assert "SweepRequest" in str(warned[0].message)
+
+    _second, warned_again = _collect_deprecations(
+        lambda: run_parameter_sweep("dep", headers, scenarios, evaluate)
+    )
+    assert warned_again == []
+
+    reference = reference_run_parameter_sweep("dep", headers, scenarios, evaluate)
+    assert first.rows == reference.rows
+
+
+def test_run_conformance_warns_once_and_matches_new_path():
+    scenarios = [GRID]
+
+    first, warned = _collect_deprecations(
+        lambda: run_conformance(scenarios=scenarios, pairs_per_scenario=1)
+    )
+    assert len(warned) == 1
+    assert "ConformanceRequest" in str(warned[0].message)
+
+    _second, warned_again = _collect_deprecations(
+        lambda: run_conformance(scenarios=scenarios, pairs_per_scenario=1)
+    )
+    assert warned_again == []
+
+    new_path = conformance_pass(scenarios=scenarios, pairs_per_scenario=1)
+    assert first.rows == new_path.rows
+    assert first.checks == new_path.checks
+    assert first.ok and new_path.ok
+
+
+def test_non_deprecated_paths_stay_silent():
+    network = build_scenario(GRID)
+
+    def run_clean():
+        from repro.core.engine import prepare
+
+        prepare(network.graph).route_many([(0, 15)])
+        conformance_pass(scenarios=[GRID], pairs_per_scenario=1)
+
+    _value, warned = _collect_deprecations(run_clean)
+    assert warned == []

@@ -28,6 +28,26 @@ def test_every_doc_referenced_path_exists():
     assert _load_checker().broken_references() == []
 
 
+def test_every_registered_task_is_documented():
+    assert _load_checker().undocumented_tasks() == []
+
+
+def test_registry_task_names_are_discovered_without_import():
+    names = _load_checker().registered_task_names()
+    # The AST scan must see the full registry (9 tasks as of this PR).
+    assert "route" in names and "sweep" in names and "conformance" in names
+    assert len(names) == len(set(names)) >= 9
+
+
+def test_undocumented_tasks_lists_missing_names(tmp_path, monkeypatch):
+    checker = _load_checker()
+    monkeypatch.setattr(checker, "registered_task_names", lambda: ["route", "no-such-task"])
+    problems = checker.undocumented_tasks()
+    assert len(problems) == 1
+    assert "no-such-task" in problems[0]
+    assert "route" not in problems[0].split(":")[-1]
+
+
 def test_repo_path_heuristic():
     checker = _load_checker()
     assert checker._looks_like_repo_path("src/repro/cli.py")

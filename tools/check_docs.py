@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation checker — the CI docs job (and ``tests/test_docs.py``).
 
-Two deterministic checks, zero dependencies:
+Three deterministic checks, zero dependencies:
 
 1. **Docstrings** — every public module under ``src/repro`` (including every
    ``__init__.py``) must carry a module docstring.
@@ -9,6 +9,10 @@ Two deterministic checks, zero dependencies:
    ``README.md`` (backticked tokens and relative Markdown link targets that
    look like repo paths) must exist, so the documentation cannot silently
    rot as files move.
+3. **Task catalogue** — every task registered in the unified API registry
+   (``TaskSpec(name=...)`` entries in ``src/repro/api/registry.py``, read via
+   ``ast`` so no import is needed) must be documented in ``docs/api.md``;
+   the failure output lists the missing task names.
 
 Run from anywhere::
 
@@ -89,14 +93,57 @@ def broken_references() -> List[str]:
     return problems
 
 
+def registered_task_names() -> List[str]:
+    """Task names declared in the API registry, read without importing it.
+
+    Walks the AST of ``src/repro/api/registry.py`` for ``TaskSpec(...)``
+    calls and collects their ``name=`` keyword (every registry entry passes
+    it as a literal keyword argument).
+    """
+    registry = ROOT / "src" / "repro" / "api" / "registry.py"
+    if not registry.exists():
+        return []
+    names: List[str] = []
+    for node in ast.walk(ast.parse(registry.read_text(encoding="utf-8"))):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            continue
+        if node.func.id != "TaskSpec":
+            continue
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "name"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, str)
+            ):
+                names.append(keyword.value.value)
+    return names
+
+
+def undocumented_tasks() -> List[str]:
+    """Registered task names missing from ``docs/api.md`` (as `name` tokens)."""
+    api_doc = ROOT / "docs" / "api.md"
+    documented = set()
+    if api_doc.exists():
+        documented = set(re.findall(r"`([A-Za-z0-9_-]+)`", api_doc.read_text(encoding="utf-8")))
+    missing = [name for name in registered_task_names() if name not in documented]
+    if not missing:
+        return []
+    return [
+        "docs/api.md: registered task(s) not documented: " + ", ".join(sorted(missing))
+    ]
+
+
 def main() -> int:
-    problems = missing_docstrings() + broken_references()
+    problems = missing_docstrings() + broken_references() + undocumented_tasks()
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"FAIL: {len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
-    print("ok: all public modules documented, all doc references resolve")
+    print(
+        "ok: all public modules documented, all doc references resolve, "
+        "all registered tasks documented in docs/api.md"
+    )
     return 0
 
 
