@@ -26,7 +26,11 @@ in one table-driven pass:
   routing the same pair through a :class:`~repro.api.session.Session`-built
   scenario — status, payload and step accounting (the ``api-parity``
   invariant, checked on the default-provider path for both static and
-  dynamic scenarios).
+  dynamic scenarios);
+* the lockstep batched walk kernel (:mod:`repro.core.batch_kernel`) matches
+  the scalar walks element for element when the same pairs are routed as one
+  batch through ``route_many(lockstep=True)``, on static networks and on
+  schedules alike (the ``batch-parity`` invariant).
 
 The harness is what the roadmap's "validate round-based models against their
 synchronous idealisation" advice looks like in code: one place where every
@@ -275,6 +279,7 @@ def _check_static_scenario(
     engine = prepare(graph)
     pairs = pick_source_target_pairs(network, pairs_per_scenario, seed=seed)
     tallies: Dict[str, _Tally] = {}
+    engine_results: List[object] = []
 
     # The unified task API must reproduce the engine exactly when it builds
     # the same spec itself.  Requests cannot carry a live provider object, so
@@ -304,6 +309,7 @@ def _check_static_scenario(
 
         # --- the guaranteed router: three realisations, one behaviour ----- #
         engine_result = engine.route(s, t, provider=provider)
+        engine_results.append(engine_result)
         tally = tallies.setdefault("ues-engine", _Tally())
         tally.pairs += 1
         tally.delivered += int(engine_result.delivered)
@@ -399,6 +405,21 @@ def _check_static_scenario(
                     "failure detected although the pair is connected",
                 )
 
+    # --- the batched walk kernel against the scalar walks, pair for pair -- #
+    # route_many(lockstep=True) routes the whole batch through the NumPy
+    # lockstep kernel (scalar reference when NumPy is absent — the invariant
+    # then degenerates to a self-check, which is exactly the fallback
+    # contract); every element must equal the per-pair scalar result.
+    batched_results = engine.route_many(pairs, provider=provider, lockstep=True)
+    for (s, t), scalar_result, batched_result in zip(
+        pairs, engine_results, batched_results
+    ):
+        check(
+            "ues-engine", s, t, "batch-parity",
+            batched_result == scalar_result,
+            f"batched={batched_result} scalar={scalar_result}",
+        )
+
     for router_name in sorted(tallies):
         tally = tallies[router_name]
         report.rows.append(
@@ -452,8 +473,10 @@ def _check_dynamic_scenario(
         api_session = Session()
 
     static_engine = prepare(base)
+    scalar_results: List[object] = []
     for s, t in pairs:
         result = engine.route(s, t, provider=provider)
+        scalar_results.append(result)
         tally.pairs += 1
         tally.delivered += int(result.outcome is DynamicOutcome.DELIVERED)
         tally.detected += int(result.outcome is DynamicOutcome.REPORTED_FAILURE)
@@ -491,6 +514,19 @@ def _check_dynamic_scenario(
                 and result.outcome is not DynamicOutcome.STRANDED,
                 f"dynamic={result.outcome.value} static={static_result.outcome.value}",
             )
+
+    # The lockstep schedule stepper must agree with the scalar resumed walk
+    # on every pair (scalar reference when NumPy is absent — see the static
+    # path's batch-parity note).
+    batched_results = engine.route_many(pairs, provider=provider, lockstep=True)
+    for (s, t), scalar_result, batched_result in zip(
+        pairs, scalar_results, batched_results
+    ):
+        check(
+            s, t, "batch-parity",
+            batched_result == scalar_result,
+            f"batched={batched_result} scalar={scalar_result}",
+        )
 
     report.rows.append(
         [spec.name, "ues-schedule", tally.pairs, tally.delivered, tally.detected, tally.violations]

@@ -342,9 +342,13 @@ def evaluate_shard(shard: SweepShard) -> List[List[object]]:
     and all topology state goes through the shared per-process engine caches
     (:func:`repro.core.engine.prepare` / ``prepare_schedule``), so a worker
     that receives several shards over the same spec builds and compiles its
-    graph exactly once.  Caching is an optimisation only: scenario
-    construction is deterministic per spec, so the rows are identical with
-    the caches cleared.
+    graph exactly once.  The engine and schedule shards route their pairs in
+    one ``route_many`` call, so a shard whose batch is large enough rides the
+    lockstep batched walk kernel (:mod:`repro.core.batch_kernel`) inside its
+    worker; small shards take the scalar reference loop — rows are identical
+    either way.  Caching is an optimisation only: scenario construction is
+    deterministic per spec, so the rows are identical with the caches
+    cleared.
     """
     spec = shard.spec
     if shard.router == SCHEDULE_ROUTER:

@@ -148,6 +148,10 @@ def _route_chunk_task(
     Builds the scenario locally — graphs are never shipped between processes
     — and routes its chunk through the worker's own prepared-engine cache,
     returning the same per-route payload shape the inline path produces.
+    Inside each worker the chunk goes through ``route_many``'s automatic
+    batching, so a large pooled batch is vectorized by the lockstep kernel
+    (:mod:`repro.core.batch_kernel`) *per chunk* on top of the process-level
+    parallelism.
     """
     spec, chunk, size_bound = task
     network = build_scenario(spec)

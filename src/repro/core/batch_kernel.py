@@ -1,0 +1,548 @@
+"""Lockstep batched walk kernel — NumPy vectorization over ``CompiledWalk`` arrays.
+
+Every batch workload in the repository (sweeps, conformance, ``route-many``,
+the ProcessPool chunk path) routes *sets* of pairs over one prepared graph,
+and until this module existed :meth:`repro.core.engine.PreparedNetwork.route_many`
+simply looped the scalar walk per pair.  This module advances all in-flight
+walks **one synchronous step at a time** — the round-based, full-information
+view of the walk — over the flat arrays of
+:class:`repro.core.walk_kernel.CompiledWalk`, with one fused gather per step
+for the whole batch.
+
+Two steppers are provided:
+
+:class:`BatchedWalk` (static networks)
+    Walk state is a single integer ``state = 3 * vertex + entry_port``; the
+    rotation map is pre-fused into three transition arrays ``step[o]`` (one
+    per offset value) so a forward step for *all* walks is the one gather
+    ``state = step[o][state]``.  Walks that share a start state share their
+    entire forward trajectory (the walk is deterministic per start state), so
+    the stepper advances only the *distinct source fronts* in lockstep while
+    recording the owner trajectory; each pair's termination step, backward
+    phase and physical/virtual step accounting are then recovered from that
+    trajectory by vectorized reductions — the backward phase retraces the
+    forward walk exactly (reversibility, Section 2 of the paper), so its
+    accounting is a pure function of the forward owner sequence.  The numbers
+    produced are identical, walk for walk, to the scalar kernel in
+    :meth:`repro.core.engine.PreparedNetwork.route`.
+
+:class:`ScheduleBatchedWalk` (dynamic-topology extension)
+    Literal lockstep state vectors ``(vertex, entry_port, phase)`` with
+    per-walk active/terminated masks: all walks share one global clock (the
+    schedule's switch times are global), forward walks advance with a shared
+    sequence index, backward walks carry per-walk indices, and snapshot
+    switch-overs translate every in-flight walk between kernels through a
+    precomputed translation table (:func:`translation_table`).  Semantics are
+    tick-for-tick those of :meth:`repro.core.engine.PreparedSchedule.route`.
+
+**NumPy is optional.**  When it is not importable, :data:`HAVE_NUMPY` is
+False, the classes raise on construction, and the engine's ``route_many``
+entry points fall back to their scalar reference loops
+(``reference_route_many``) automatically — results are identical either way,
+only the constant factor differs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RoutingError
+from repro.graphs.labeled_graph import LabeledGraph  # noqa: F401  (doc references)
+from repro.core.walk_kernel import CompiledWalk
+
+try:  # pragma: no cover - exercised by the no-NumPy CI job
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "BatchedWalk",
+    "ScheduleBatchedWalk",
+    "StaticWalkAccount",
+    "ScheduleWalkAccount",
+    "batched_walk_for",
+    "clear_batch_caches",
+    "batch_cache_info",
+    "translation_table",
+]
+
+#: True when NumPy imported successfully; the engine consults this before
+#: routing a batch through the lockstep kernels.
+HAVE_NUMPY = _np is not None
+
+#: Trajectory rows recorded per lockstep chunk before termination checks run.
+#: Chunks start small and double up to the cap: short walks (small graphs,
+#: nearby targets) terminate within the first few chunks instead of paying
+#: thousands of wasted lockstep iterations, while long walks quickly reach
+#: the large chunk size that amortises detection.
+_CHUNK_ROWS_MIN = 64
+_CHUNK_ROWS_MAX = 4096
+
+#: Cap on buffered trajectory elements per batch (int32 each).  A batch whose
+#: walks out-run the cap — pathologically long failure walks under a huge
+#: size bound — hands its unresolved pairs back to the scalar kernel instead
+#: of exhausting memory; results are identical either way.
+_MAX_BUFFER_ELEMENTS = 1 << 26
+
+#: Bound on cached per-kernel batched steppers / per-sequence offset arrays.
+_BATCH_CACHE_LIMIT = 64
+_NP_OFFSETS_CACHE_LIMIT = 8
+
+#: Outcome codes of :class:`ScheduleBatchedWalk` (mirroring DynamicOutcome,
+#: which lives above this module in the layer order).
+SCHEDULE_DELIVERED = 0
+SCHEDULE_REPORTED_FAILURE = 1
+SCHEDULE_STRANDED_DEGREE = 2
+SCHEDULE_STRANDED_BUDGET = 3
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise RoutingError(
+            "the lockstep batch kernel needs NumPy; install it or use the "
+            "scalar reference_route_many path"
+        )
+
+
+@dataclass(frozen=True)
+class StaticWalkAccount:
+    """Per-walk accounting of one static batched route (scalar-identical)."""
+
+    success: bool
+    forward_steps: int
+    backward_steps: int
+    physical_hops: int
+    target_found_at: Optional[int]
+
+
+@dataclass(frozen=True)
+class ScheduleWalkAccount:
+    """Per-walk accounting of one batched schedule route (scalar-identical)."""
+
+    code: int
+    steps_taken: int
+    switches_survived: int
+    stranded_owner: int
+    status_failure: bool
+
+
+class BatchedWalk:
+    """NumPy view of one :class:`CompiledWalk` plus the static lockstep stepper.
+
+    Construction fuses the rotation map into per-offset transition arrays:
+
+    ``step[o][3 * v + p] = 3 * next_vertex[e] + next_port[e]`` with
+    ``e = 3 * v + (p + o) % 3`` — one gather advances every walk by one step.
+
+    ``owner_state`` maps a walk state to the original vertex its virtual
+    vertex simulates; ``back_v3`` / ``back_port`` are the backward-step
+    tables used by the schedule stepper (a backward step leaves through the
+    entry edge, which *is* the state index).
+    """
+
+    __slots__ = (
+        "kernel",
+        "step",
+        "owner_state",
+        "back_v3",
+        "back_port",
+        "num_states",
+    )
+
+    def __init__(self, kernel: CompiledWalk) -> None:
+        _require_numpy()
+        self.kernel = kernel
+        next_vertex = _np.asarray(kernel.next_vertex, dtype=_np.int64)
+        next_port = _np.asarray(kernel.next_port, dtype=_np.int64)
+        owner = _np.asarray(kernel.owner, dtype=_np.int64)
+        n3 = next_vertex.shape[0]
+        self.num_states = n3
+        states = _np.arange(n3)
+        base = 3 * (states // 3)
+        port = states % 3
+        fused: List["_np.ndarray"] = []
+        for offset in range(3):
+            exit_edge = base + (port + offset) % 3
+            fused.append(
+                (3 * next_vertex[exit_edge] + next_port[exit_edge]).astype(_np.int32)
+            )
+        self.step = fused
+        self.owner_state = _np.repeat(owner, 3).astype(_np.int32)
+        self.back_v3 = (3 * next_vertex).astype(_np.int32)
+        self.back_port = next_port.astype(_np.int32)
+
+    # ------------------------------------------------------------------ #
+    # Static batch routing
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        offsets: Sequence[int],
+        start_port: int = 0,
+        max_buffer_elements: int = _MAX_BUFFER_ELEMENTS,
+    ) -> Tuple[Dict[int, StaticWalkAccount], List[int]]:
+        """Route ``pairs`` in lockstep; return per-index accounts + unresolved.
+
+        ``pairs`` are ``(source, target)`` original-vertex pairs (duplicates
+        and self-pairs allowed).  Returns a mapping from pair index to its
+        :class:`StaticWalkAccount` plus the list of indices the stepper did
+        not resolve because the trajectory buffer cap was reached — the
+        caller finishes those on the scalar kernel (identical results).
+        """
+        kernel = self.kernel
+        length = len(offsets)
+        owner_state = self.owner_state
+        step = self.step
+
+        # Group pairs by source: walks sharing a start state share their
+        # whole forward trajectory, so only distinct fronts are stepped.
+        order: List[int] = []
+        by_source: Dict[int, List[int]] = {}
+        for index, (source, _target) in enumerate(pairs):
+            bucket = by_source.get(source)
+            if bucket is None:
+                by_source[source] = bucket = []
+                order.append(source)
+            bucket.append(index)
+
+        accounts: Dict[int, StaticWalkAccount] = {}
+        found_at: Dict[int, int] = {}
+        # remaining[source] -> [(pair index, target), ...] not yet terminated.
+        remaining: Dict[int, List[Tuple[int, int]]] = {}
+        for source in order:
+            open_pairs: List[Tuple[int, int]] = []
+            for index in by_source[source]:
+                target = pairs[index][1]
+                if target == source:
+                    # owner(start state) == source: the scalar walk succeeds
+                    # before taking a single step.
+                    found_at[index] = 0
+                else:
+                    open_pairs.append((index, target))
+            remaining[source] = open_pairs
+
+        # --- stage 1: lockstep-advance the distinct fronts, recording the
+        # owner trajectory chunk by chunk (transposed: one contiguous row per
+        # front), with termination detection and front compaction per chunk.
+        chunks: List[Tuple[Dict[int, int], "_np.ndarray"]] = []
+        active: List[int] = [source for source in order if remaining[source]]
+        state = _np.array(
+            [3 * kernel.gateway(source) + start_port for source in active],
+            dtype=_np.int32,
+        )
+        buffered_elements = 0
+        global_step = 0
+        truncated = False
+        chunk_rows = _CHUNK_ROWS_MIN
+        while active and global_step < length:
+            rows = min(chunk_rows, length - global_step)
+            chunk_rows = min(2 * chunk_rows, _CHUNK_ROWS_MAX)
+            if buffered_elements + len(active) * rows > max_buffer_elements:
+                truncated = True
+                break
+            buffer = _np.empty((len(active), rows), dtype=_np.int32)
+            for row in range(rows):
+                state = step[offsets[global_step + row]][state]
+                buffer[:, row] = state
+            owners = owner_state[buffer]
+            buffered_elements += owners.size
+            column_of = {source: column for column, source in enumerate(active)}
+            chunks.append((column_of, owners))
+            for source in active:
+                row_owners = owners[column_of[source]]
+                still_open: List[Tuple[int, int]] = []
+                for index, target in remaining[source]:
+                    hits = _np.nonzero(row_owners == target)[0]
+                    if hits.size:
+                        found_at[index] = global_step + int(hits[0]) + 1
+                    else:
+                        still_open.append((index, target))
+                remaining[source] = still_open
+            global_step += rows
+            survivors = [source for source in active if remaining[source]]
+            if len(survivors) != len(active):
+                keep = _np.array(
+                    [column_of[source] for source in survivors], dtype=_np.int64
+                )
+                state = state[keep]
+                active = survivors
+
+        # --- stage 2: per-pair accounting by vectorized reductions over the
+        # recorded owner trajectory (the backward phase retraces the forward
+        # walk, so its step/hop counts are functions of that trajectory).
+        unresolved: List[int] = []
+        for source in order:
+            if truncated and remaining[source]:
+                # This front was still walking when the buffer cap hit: every
+                # unfinished pair goes back to the scalar kernel.
+                unresolved.extend(index for index, _ in remaining[source])
+            trajectory_rows: List["_np.ndarray"] = [
+                _np.array([source], dtype=_np.int32)
+            ]
+            for column_of, owners in chunks:
+                column = column_of.get(source)
+                if column is None:
+                    break
+                trajectory_rows.append(owners[column])
+            trajectory = _np.concatenate(trajectory_rows)
+            for index in by_source[source]:
+                target_found = found_at.get(index)
+                if target_found is None:
+                    if truncated:
+                        continue  # already queued as unresolved
+                    forward_steps = length
+                else:
+                    forward_steps = target_found
+                owner_walk = trajectory[: forward_steps + 1]
+                changes = owner_walk[1:] != owner_walk[:-1]
+                source_visits = _np.nonzero(owner_walk == source)[0]
+                if not source_visits.size:  # pragma: no cover - impossible:
+                    # position 0 is the source's gateway.
+                    raise RoutingError("backtracking failed to return to the source")
+                last_visit = int(source_visits[-1])
+                accounts[index] = StaticWalkAccount(
+                    success=target_found is not None,
+                    forward_steps=int(forward_steps),
+                    backward_steps=int(forward_steps - last_visit),
+                    physical_hops=int(
+                        _np.count_nonzero(changes)
+                        + _np.count_nonzero(changes[last_visit:])
+                    ),
+                    target_found_at=target_found,
+                )
+        return accounts, unresolved
+
+
+class ScheduleBatchedWalk:
+    """Lockstep stepper for routing one pair batch over a topology schedule.
+
+    All walks share one global clock: snapshot switch-overs apply to every
+    in-flight walk at the same tick, forward walks advance with the shared
+    sequence index (a walk is forward exactly while ``steps == time``), and
+    backward walks gather their per-walk ``offsets[steps - 1]``.  Stranding,
+    failure reporting and the tick budget reproduce
+    :meth:`repro.core.engine.PreparedSchedule.route` decision for decision.
+    """
+
+    def __init__(
+        self,
+        steppers: Sequence[BatchedWalk],
+        snapshots: Sequence[object],
+        switch_times: Sequence[int],
+        gateway_of: Dict[int, int],
+    ) -> None:
+        _require_numpy()
+        self._steppers = list(steppers)
+        self._snapshots = list(snapshots)
+        self._switch_times = list(switch_times)
+        #: Gateway map of the *first* kernel only: every walk starts on
+        #: snapshot 0, and post-switch placement goes through the translation
+        #: tables, never through a later kernel's gateways.
+        self._gateway_of = dict(gateway_of)
+        #: index -> translation array (or None when the snapshot object does
+        #: not change); built lazily, once per real switch.
+        self._translations: Dict[int, Optional["_np.ndarray"]] = {}
+
+    def _translation_into(self, index: int) -> Optional["_np.ndarray"]:
+        table = self._translations.get(index)
+        if table is None and index not in self._translations:
+            table = translation_table(
+                self._steppers[index - 1].kernel, self._steppers[index].kernel
+            )
+            self._translations[index] = table
+        return table
+
+    def run(
+        self,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        offsets: Sequence[int],
+        np_offsets: "_np.ndarray",
+    ) -> List[ScheduleWalkAccount]:
+        """Route every pair over the schedule in lockstep; return accounts."""
+        length = len(offsets)
+        count = len(sources)
+        steppers = self._steppers
+        snapshots = self._snapshots
+        switch_times = self._switch_times
+        num_snapshots = len(snapshots)
+
+        source_arr = _np.asarray(sources, dtype=_np.int32)
+        target_arr = _np.asarray(targets, dtype=_np.int32)
+        gateway_of = self._gateway_of
+        state = _np.array(
+            [3 * gateway_of[source] for source in sources], dtype=_np.int32
+        )
+        steps = _np.zeros(count, dtype=_np.int64)
+        switches = _np.zeros(count, dtype=_np.int64)
+        forward = _np.ones(count, dtype=bool)
+        status_failure = _np.zeros(count, dtype=bool)
+        done = _np.zeros(count, dtype=bool)
+        code = _np.full(count, -1, dtype=_np.int8)
+        stranded_owner = _np.full(count, -1, dtype=_np.int64)
+        current_owner = source_arr.copy()
+
+        active_index = 0
+        active_graph = snapshots[0]
+        stepper = steppers[0]
+
+        for time in range(2 * length + 2):
+            # Activate every snapshot whose switch time has passed; a switch
+            # to a different graph object translates every in-flight walk.
+            while (
+                active_index + 1 < num_snapshots
+                and time >= switch_times[active_index + 1]
+            ):
+                active_index += 1
+                new_graph = snapshots[active_index]
+                if new_graph is active_graph:
+                    continue
+                live_indices = _np.nonzero(~done)[0]
+                switches[live_indices] += 1
+                table = self._translation_into(active_index)
+                live_states = state[live_indices]
+                translated = table[live_states // 3]
+                stranded_local = translated < 0
+                if stranded_local.any():
+                    stranded_indices = live_indices[stranded_local]
+                    code[stranded_indices] = SCHEDULE_STRANDED_DEGREE
+                    stranded_owner[stranded_indices] = current_owner[stranded_indices]
+                    done[stranded_indices] = True
+                surviving = ~stranded_local
+                surviving_indices = live_indices[surviving]
+                state[surviving_indices] = (
+                    3 * translated[surviving] + live_states[surviving] % 3
+                )
+                active_graph = new_graph
+                stepper = steppers[active_index]
+
+            if done.all():
+                break
+
+            in_flight = ~done
+            fwd = in_flight & forward
+            delivered = fwd & (current_owner == target_arr)
+            if delivered.any():
+                code[delivered] = SCHEDULE_DELIVERED
+                done |= delivered
+                fwd &= ~delivered
+            flipped = fwd & (steps >= length)
+            if flipped.any():
+                forward[flipped] = False
+                status_failure[flipped] = True
+                fwd &= ~flipped  # the flip consumes this tick without a step
+            if fwd.any():
+                # Forward walks stepped on every previous tick, so they all
+                # sit at the shared index ``time`` (< length here).
+                state[fwd] = stepper.step[offsets[time]][state[fwd]]
+                steps[fwd] += 1
+                current_owner[fwd] = stepper.owner_state[state[fwd]]
+
+            bwd = in_flight & ~forward & ~flipped & ~done
+            reported = bwd & ((current_owner == source_arr) | (steps == 0))
+            if reported.any():
+                code[reported] = SCHEDULE_REPORTED_FAILURE
+                done |= reported
+                bwd &= ~reported
+            if bwd.any():
+                back_state = state[bwd]
+                back_offset = np_offsets[steps[bwd] - 1]
+                new_port = (stepper.back_port[back_state] - back_offset) % 3
+                state[bwd] = stepper.back_v3[back_state] + new_port
+                steps[bwd] -= 1
+                current_owner[bwd] = stepper.owner_state[state[bwd]]
+
+        budget = ~done
+        if budget.any():
+            code[budget] = SCHEDULE_STRANDED_BUDGET
+
+        return [
+            ScheduleWalkAccount(
+                code=int(code[i]),
+                steps_taken=int(steps[i]),
+                switches_survived=int(switches[i]),
+                stranded_owner=int(stranded_owner[i]),
+                status_failure=bool(status_failure[i]),
+            )
+            for i in range(count)
+        ]
+
+
+def translation_table(
+    source_kernel: CompiledWalk, target_kernel: CompiledWalk
+) -> "_np.ndarray":
+    """Vectorizable form of :meth:`CompiledWalk.translate_virtual`.
+
+    ``table[v]`` is the virtual vertex of ``target_kernel`` corresponding to
+    virtual vertex ``v`` of ``source_kernel`` (same owner, same carried
+    physical port), or ``-1`` when the owner's degree differs between the two
+    reductions — the walk is stranded there.  Built once per real switch of a
+    schedule and gathered per tick for the whole batch.
+    """
+    _require_numpy()
+    count = source_kernel.num_vertices
+    table = _np.empty(count, dtype=_np.int32)
+    for vertex in range(count):
+        translated = source_kernel.translate_virtual(target_kernel, vertex)
+        table[vertex] = -1 if translated is None else translated
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Shared caches (mirroring the engine's per-process caches)
+# --------------------------------------------------------------------------- #
+
+#: Batched steppers keyed by ``id(kernel)``; entries hold the kernel strongly
+#: so an id cannot be recycled while its entry lives.
+_BATCH_CACHE: "OrderedDict[int, BatchedWalk]" = OrderedDict()
+
+#: int8 offset arrays keyed by ``id(offsets tuple)`` (the engine's offsets
+#: cache keeps the tuples alive and identity-stable).
+_NP_OFFSETS_CACHE: "OrderedDict[int, Tuple[object, object]]" = OrderedDict()
+
+
+def batched_walk_for(kernel: CompiledWalk) -> BatchedWalk:
+    """The shared :class:`BatchedWalk` for a kernel (built on demand)."""
+    key = id(kernel)
+    entry = _BATCH_CACHE.get(key)
+    if entry is not None and entry.kernel is kernel:
+        _BATCH_CACHE.move_to_end(key)
+        return entry
+    entry = BatchedWalk(kernel)
+    _BATCH_CACHE[key] = entry
+    while len(_BATCH_CACHE) > _BATCH_CACHE_LIMIT:
+        _BATCH_CACHE.popitem(last=False)
+    return entry
+
+
+def np_offsets_for(offsets: Sequence[int]) -> "_np.ndarray":
+    """Cached int8 array view of a raw offset tuple (values in {0, 1, 2})."""
+    _require_numpy()
+    key = id(offsets)
+    entry = _NP_OFFSETS_CACHE.get(key)
+    if entry is not None and entry[0] is offsets:
+        _NP_OFFSETS_CACHE.move_to_end(key)
+        return entry[1]
+    array = _np.asarray(offsets, dtype=_np.int8)
+    _NP_OFFSETS_CACHE[key] = (offsets, array)
+    while len(_NP_OFFSETS_CACHE) > _NP_OFFSETS_CACHE_LIMIT:
+        _NP_OFFSETS_CACHE.popitem(last=False)
+    return array
+
+
+def clear_batch_caches() -> None:
+    """Drop every cached batched stepper and offset array (worker cold start)."""
+    _BATCH_CACHE.clear()
+    _NP_OFFSETS_CACHE.clear()
+
+
+def batch_cache_info() -> Dict[str, int]:
+    """Sizes of the batch-kernel caches, for this process (diagnostics only)."""
+    return {
+        "batched_kernels": len(_BATCH_CACHE),
+        "np_offset_entries": len(_NP_OFFSETS_CACHE),
+    }

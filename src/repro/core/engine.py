@@ -24,6 +24,14 @@ small keyed cache so independent call sites (routing, counting, broadcast,
 the distributed protocols, benchmarks) all land on the same engine for the
 same graph object.
 
+Batches large enough to amortise vectorization run on the lockstep batched
+walk kernel of :mod:`repro.core.batch_kernel` (all walks advance one
+synchronous step at a time over the compiled arrays); small batches, and
+every batch when NumPy is not installed, run the scalar loops
+``reference_route_many`` — the executable specifications the batched path
+must match element for element (asserted by the ``batch-parity`` conformance
+invariant and ``benchmarks/bench_batch.py``).
+
 Results are bit-for-bit identical to the seed walkers: the kernel encodes the
 same rotation map, the step rule is unchanged, and the header accounting uses
 the same formulas.
@@ -98,6 +106,35 @@ __all__ = [
 #: Per-engine bound on cached (provider, bound) offset tuples; CountNodes'
 #: doubling loop needs ~log2(n) live bounds per provider, so 32 is generous.
 _OFFSETS_CACHE_LIMIT = 32
+
+#: Automatic ``route_many`` dispatch: the lockstep kernel pays a fixed NumPy
+#: per-step overhead, so it wins only when the scalar work it replaces is
+#: large — which scales with the batch size *and* the walk length (itself
+#: governed by the reduced-graph size).  The auto policy therefore requires
+#: both a minimum batch and a minimum ``batch x kernel-vertices`` product
+#: (calibrated by measurement: a 64-pair batch breaks even around a 12x12
+#: grid, whose kernel has ~530 virtual vertices).  The thresholds only steer
+#: the *default* — ``lockstep=True``/``False`` overrides them; results are
+#: identical on both paths.
+_LOCKSTEP_AUTO_MIN_STATIC = 32
+_LOCKSTEP_AUTO_MIN_SCHEDULE = 32
+_LOCKSTEP_AUTO_MIN_WORK = 32_768
+
+
+def _use_lockstep(
+    requested: Optional[bool], batch_size: int, minimum: int, kernel_size: int
+) -> bool:
+    """Resolve the ``lockstep`` tri-state against NumPy, batch and walk size."""
+    from repro.core.batch_kernel import HAVE_NUMPY
+
+    if not HAVE_NUMPY or batch_size == 0:
+        return False
+    if requested is None:
+        return (
+            batch_size >= minimum
+            and batch_size * kernel_size >= _LOCKSTEP_AUTO_MIN_WORK
+        )
+    return bool(requested)
 
 
 class PreparedNetwork:
@@ -311,11 +348,60 @@ class PreparedNetwork:
         size_bound: Optional[int] = None,
         start_port: int = 0,
         namespace_size: Optional[int] = None,
+        lockstep: Optional[bool] = None,
     ) -> List[RouteResult]:
         """Route every ``(source, target)`` pair against the shared state.
 
         This is the batch API the repeated-route workloads should use: one
-        engine build, then a plain loop over the compiled walk kernel.
+        engine build, then one pass over the compiled walk kernel.  Batches
+        large enough for vectorization to pay off (both a minimum batch size
+        and a minimum batch x kernel-size work product — small batches and
+        short walks are faster scalar) run on the NumPy lockstep kernel
+        (:class:`repro.core.batch_kernel.BatchedWalk` — all walks advance one
+        synchronous step at a time with one fused gather per step); small
+        batches, and every batch when NumPy is absent, run the scalar loop
+        :meth:`reference_route_many`, the executable specification.  Results
+        are bit-for-bit identical either way (the ``batch-parity``
+        conformance invariant and ``benchmarks/bench_batch.py`` assert it).
+
+        ``lockstep`` forces the choice: ``True`` routes through the batched
+        kernel whenever NumPy is available (no size threshold), ``False``
+        always uses the scalar reference, ``None`` (default) picks
+        automatically.
+        """
+        pairs = list(pairs)
+        if _use_lockstep(
+            lockstep, len(pairs), _LOCKSTEP_AUTO_MIN_STATIC, self._kernel.num_vertices
+        ):
+            return self._route_many_batched(
+                pairs,
+                provider=provider,
+                size_bound=size_bound,
+                start_port=start_port,
+                namespace_size=namespace_size,
+            )
+        return self.reference_route_many(
+            pairs,
+            provider=provider,
+            size_bound=size_bound,
+            start_port=start_port,
+            namespace_size=namespace_size,
+        )
+
+    def reference_route_many(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+        start_port: int = 0,
+        namespace_size: Optional[int] = None,
+    ) -> List[RouteResult]:
+        """The scalar batch loop — the executable specification of ``route_many``.
+
+        One :meth:`route` call per pair over the compiled kernel.  The
+        lockstep batched path must match this list element for element; it is
+        also the automatic fallback when NumPy is unavailable or the batch is
+        too small for vectorization to pay off.
         """
         return [
             self.route(
@@ -328,6 +414,69 @@ class PreparedNetwork:
             )
             for source, target in pairs
         ]
+
+    def _route_many_batched(
+        self,
+        pairs: List[Tuple[int, int]],
+        provider: Optional[SequenceProvider],
+        size_bound: Optional[int],
+        start_port: int,
+        namespace_size: Optional[int],
+    ) -> List[RouteResult]:
+        """Batch body: group pairs by size bound, run the lockstep kernel.
+
+        Pairs whose walks exceed the kernel's trajectory buffer cap are
+        finished on the scalar kernel — same results, bounded memory.
+        """
+        from repro.core.batch_kernel import batched_walk_for
+
+        namespace = namespace_size if namespace_size is not None else self._namespace
+        for source in {source for source, _ in pairs}:
+            self._require_source(source)
+        groups: Dict[int, List[int]] = {}
+        for index, (source, _target) in enumerate(pairs):
+            bound = self.resolve_size_bound(source, size_bound)
+            groups.setdefault(bound, []).append(index)
+        stepper = batched_walk_for(self._kernel)
+        results: List[Optional[RouteResult]] = [None] * len(pairs)
+        for bound, indices in groups.items():
+            offsets = self.offsets_for(bound, provider)
+            length = len(offsets)
+            header_bits = _header_bits(namespace, length)
+            group_pairs = [pairs[index] for index in indices]
+            accounts, unresolved = stepper.run(
+                group_pairs, offsets, start_port=start_port
+            )
+            for local_index, account in accounts.items():
+                index = indices[local_index]
+                source, target = pairs[index]
+                results[index] = RouteResult(
+                    outcome=(
+                        RouteOutcome.SUCCESS if account.success else RouteOutcome.FAILURE
+                    ),
+                    delivered=account.success,
+                    source=source,
+                    target=target,
+                    size_bound=bound,
+                    sequence_length=length,
+                    forward_virtual_steps=account.forward_steps,
+                    backward_virtual_steps=account.backward_steps,
+                    physical_hops=account.physical_hops,
+                    target_found_at_step=account.target_found_at,
+                    header_bits=header_bits,
+                )
+            for local_index in unresolved:
+                index = indices[local_index]
+                source, target = pairs[index]
+                results[index] = self.route(
+                    source,
+                    target,
+                    provider=provider,
+                    size_bound=size_bound,
+                    start_port=start_port,
+                    namespace_size=namespace_size,
+                )
+        return results
 
     # ------------------------------------------------------------------ #
     # Walks shared with the sibling algorithms
@@ -613,6 +762,8 @@ class PreparedSchedule:
         self._engines = engines
         self._kernels = [engine.kernel for engine in engines]
         self._num_compiled = len(engines_by_graph)
+        #: Lazily built lockstep stepper for the batched route_many path.
+        self._batched_stepper = None
 
     # ------------------------------------------------------------------ #
     # Shared state accessors
@@ -771,16 +922,147 @@ class PreparedSchedule:
         pairs: Iterable[Tuple[int, int]],
         provider: Optional[SequenceProvider] = None,
         size_bound: Optional[int] = None,
+        lockstep: Optional[bool] = None,
     ) -> List[object]:
         """Route every ``(source, target)`` pair against the prepared schedule.
 
         The batch API for dynamic workloads: one compilation of every
-        snapshot, then a plain loop over the resumed flat-array walk.
+        snapshot, then one pass over the resumed flat-array walk.  Large
+        batches run on the NumPy lockstep stepper
+        (:class:`repro.core.batch_kernel.ScheduleBatchedWalk`: shared global
+        clock, per-walk ``(vertex, entry port, phase)`` state vectors,
+        switch-overs translated through precomputed tables); small batches,
+        and every batch when NumPy is absent, run the scalar loop
+        :meth:`reference_route_many`.  Results are identical either way (the
+        dynamic ``batch-parity`` conformance invariant asserts it).
+        ``lockstep`` forces the choice exactly as in
+        :meth:`PreparedNetwork.route_many`.
         """
+        pairs = list(pairs)
+        if _use_lockstep(
+            lockstep,
+            len(pairs),
+            _LOCKSTEP_AUTO_MIN_SCHEDULE,
+            self._kernels[0].num_vertices,
+        ):
+            return self._route_many_batched(
+                pairs, provider=provider, size_bound=size_bound
+            )
+        return self.reference_route_many(
+            pairs, provider=provider, size_bound=size_bound
+        )
+
+    def reference_route_many(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        provider: Optional[SequenceProvider] = None,
+        size_bound: Optional[int] = None,
+    ) -> List[object]:
+        """The scalar batch loop — the executable specification of ``route_many``."""
         return [
             self.route(source, target, provider=provider, size_bound=size_bound)
             for source, target in pairs
         ]
+
+    def _schedule_stepper(self):
+        """The shared lockstep stepper for this schedule (built on demand)."""
+        from repro.core.batch_kernel import ScheduleBatchedWalk, batched_walk_for
+
+        if self._batched_stepper is None:
+            self._batched_stepper = ScheduleBatchedWalk(
+                steppers=[batched_walk_for(kernel) for kernel in self._kernels],
+                snapshots=self._schedule.snapshots,
+                switch_times=self._schedule.switch_times,
+                gateway_of=self._kernels[0].gateway_of,
+            )
+        return self._batched_stepper
+
+    def _route_many_batched(
+        self,
+        pairs: List[Tuple[int, int]],
+        provider: Optional[SequenceProvider],
+        size_bound: Optional[int],
+    ) -> List[object]:
+        """Batch body: group pairs by size bound, run the schedule stepper."""
+        from repro.core import batch_kernel
+        from repro.network.dynamics import DynamicOutcome, DynamicRouteResult
+
+        base = self._schedule.snapshots[0]
+        for source in {source for source, _ in pairs}:
+            if not base.has_vertex(source):
+                raise RoutingError(
+                    f"source {source!r} is not a vertex of the network"
+                )
+        engine0 = self._engines[0]
+        groups: Dict[int, List[int]] = {}
+        for index, (source, _target) in enumerate(pairs):
+            bound = engine0.resolve_size_bound(source, size_bound)
+            groups.setdefault(bound, []).append(index)
+        stepper = self._schedule_stepper()
+        results: List[Optional[object]] = [None] * len(pairs)
+        soundness_cache: Dict[Tuple[int, int], bool] = {}
+        for bound, indices in groups.items():
+            offsets = engine0.offsets_for(
+                bound, provider if provider is not None else self._default_provider
+            )
+            np_offsets = batch_kernel.np_offsets_for(offsets)
+            accounts = stepper.run(
+                [pairs[index][0] for index in indices],
+                [pairs[index][1] for index in indices],
+                offsets,
+                np_offsets,
+            )
+            for local_index, account in enumerate(accounts):
+                index = indices[local_index]
+                source, target = pairs[index]
+                if account.code == batch_kernel.SCHEDULE_DELIVERED:
+                    result = DynamicRouteResult(
+                        outcome=DynamicOutcome.DELIVERED,
+                        steps_taken=account.steps_taken,
+                        switches_survived=account.switches_survived,
+                        sound=True,
+                    )
+                elif account.code == batch_kernel.SCHEDULE_REPORTED_FAILURE:
+                    if account.status_failure:
+                        key = (source, target)
+                        sound = soundness_cache.get(key)
+                        if sound is None:
+                            sound = not self._schedule.always_connected(source, target)
+                            soundness_cache[key] = sound
+                    else:
+                        sound = True
+                    result = DynamicRouteResult(
+                        outcome=DynamicOutcome.REPORTED_FAILURE,
+                        steps_taken=account.steps_taken,
+                        switches_survived=account.switches_survived,
+                        sound=sound,
+                        detail=(
+                            ""
+                            if sound
+                            else "failure reported although a path existed throughout"
+                        ),
+                    )
+                elif account.code == batch_kernel.SCHEDULE_STRANDED_DEGREE:
+                    result = DynamicRouteResult(
+                        outcome=DynamicOutcome.STRANDED,
+                        steps_taken=account.steps_taken,
+                        switches_survived=account.switches_survived,
+                        sound=False,
+                        detail=(
+                            f"degree of node {account.stranded_owner} "
+                            "changed under the message"
+                        ),
+                    )
+                else:
+                    result = DynamicRouteResult(
+                        outcome=DynamicOutcome.STRANDED,
+                        steps_taken=account.steps_taken,
+                        switches_survived=account.switches_survived,
+                        sound=False,
+                        detail="walk did not terminate within its budget",
+                    )
+                results[index] = result
+        return results
 
 
 #: Prepared schedules keyed by ``id(schedule)``.  Entries hold the schedule
@@ -830,12 +1112,15 @@ def prepared_cache_info() -> Dict[str, int]:
     session-scoped scenario-cache counters (the ``repro sweep`` summary line
     prints that merged view).
     """
+    from repro.core.batch_kernel import batch_cache_info
+
     info = dict(_CACHE_COUNTERS)
     info["engines"] = len(_ENGINE_CACHE)
     info["schedules"] = len(_SCHEDULE_CACHE)
     info["offset_entries"] = sum(
         len(engine._offsets_cache) for engine in _ENGINE_CACHE.values()
     )
+    info.update(batch_cache_info())
     return info
 
 
@@ -849,8 +1134,11 @@ def clear_prepared_caches() -> None:
     library-wide default sequence provider's cache is dropped for the same
     reason; its sequences are deterministic, so nothing observable changes.
     """
+    from repro.core.batch_kernel import clear_batch_caches
+
     _ENGINE_CACHE.clear()
     _SCHEDULE_CACHE.clear()
+    clear_batch_caches()
     for counter in _CACHE_COUNTERS:
         _CACHE_COUNTERS[counter] = 0
     shared_provider = default_provider()

@@ -9,10 +9,14 @@ guaranteed whenever a path exists, and bounded-time failure detection is
 gained when it does not.
 
 The combiner below models the parallel composition round by round: in every
-round each of the two walks advances by one physical hop, and the run stops
-the moment either reports success (or the guaranteed router reports failure,
-which is conclusive).  The reported cost therefore charges both messages per
-round, the factor-of-two overhead the corollary's ``O(T(n))`` hides.
+round each *still-running* walk advances by one physical hop, and the run
+stops the moment either reports success (or the guaranteed router reports
+failure, which is conclusive).  The reported cost charges each router one
+message per round **while it is running**: a fast router that terminated
+(undelivered) before the stopping round is charged only the hops it actually
+took, so ``total_messages`` is at most — not always exactly — twice the
+winner's cost, the constant-factor overhead the corollary's ``O(T(n))``
+hides.
 """
 
 from __future__ import annotations
@@ -92,9 +96,14 @@ def hybrid_route(
     HybridResult
         ``outcome`` is SUCCESS when either router delivered, FAILURE when the
         guaranteed router certified that no path exists.  ``total_messages``
-        charges one message per router per round until the stopping round, so
-        it is at most twice the winner's own cost — the constant-factor
-        overhead of Corollary 2.
+        charges one message per router per round *while that router is still
+        running*: the guaranteed router runs through every round, the fast
+        router only through ``min(fast.hops, rounds)`` of them (it may have
+        terminated, undelivered, before the stopping round).  The total is
+        therefore at most twice the winner's own cost — the constant-factor
+        overhead of Corollary 2 — and equals it exactly when the fast router
+        wins.  A ``fast_cost == guaranteed_cost`` tie goes to the fast
+        router.
     """
     guaranteed = route(
         graph, source, target, provider=provider, size_bound=size_bound
@@ -116,6 +125,9 @@ def hybrid_route(
     guaranteed_cost = guaranteed.physical_hops
 
     if fast_cost is not None and fast_cost <= guaranteed_cost:
+        # Tie-break: on fast_cost == guaranteed_cost the fast router wins —
+        # both reach the target in the same round and the composition stops
+        # on whichever success is cheaper to confirm.
         winner = "fast"
         rounds = fast_cost
         outcome = RouteOutcome.SUCCESS
@@ -125,7 +137,11 @@ def hybrid_route(
         rounds = guaranteed_cost
         outcome = guaranteed.outcome
         delivered = guaranteed.delivered
-    total_messages = 2 * rounds
+    # The guaranteed walk is charged every round; the fast walk only the
+    # rounds it was actually in flight.  A fast router that terminated
+    # (undelivered) after fast.hops < rounds hops sends no further messages —
+    # charging it 2 * rounds would overstate Corollary 2's cost.
+    total_messages = rounds + min(fast.hops, rounds)
     return HybridResult(
         outcome=outcome,
         delivered=delivered,

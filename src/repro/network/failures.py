@@ -55,14 +55,22 @@ class FailurePlan:
         return cls(failed_links=set(chosen))
 
     def apply(self, simulator: Simulator) -> None:
-        """Apply the plan to a simulator (before running a protocol)."""
-        for link in self.failed_links:
-            endpoints = tuple(link)
+        """Apply the plan to a simulator (before running a protocol).
+
+        Links and nodes are applied in sorted order, and each link's
+        endpoints are unpacked sorted.  Iterating the sets (and
+        ``tuple(frozenset)``) directly would follow hash order, which varies
+        with ``PYTHONHASHSEED`` — two plans with identical contents could
+        then fail links in different orders (and with swapped ``fail_link``
+        argument order) and produce different simulator traces.
+        """
+        for link in sorted(self.failed_links, key=sorted):
+            endpoints = tuple(sorted(link))
             if len(endpoints) == 1:
                 simulator.fail_link(endpoints[0], endpoints[0])
             else:
                 simulator.fail_link(endpoints[0], endpoints[1])
-        for node in self.failed_nodes:
+        for node in sorted(self.failed_nodes):
             simulator.fail_node(node)
 
     def is_empty(self) -> bool:

@@ -16,8 +16,8 @@ from hypothesis import strategies as st
 
 from repro.analysis.conformance import (
     ConformanceViolation,
+    conformance_pass,
     default_conformance_matrix,
-    run_conformance,
 )
 from repro.analysis.experiments import ScenarioSpec, build_schedule
 from repro.baselines import applicable_routers
@@ -35,7 +35,7 @@ from repro.network.dynamics import (
 
 
 def test_full_matrix_has_no_violations(provider):
-    report = run_conformance(provider=provider)
+    report = conformance_pass(provider=provider)
     assert report.ok, "\n".join(str(violation) for violation in report.violations)
     assert report.checks > 300
     # Every scenario of the matrix produced at least one summary row.
@@ -57,7 +57,7 @@ def test_matrix_covers_the_required_scenario_families():
 
 
 def test_report_table_renders(provider):
-    report = run_conformance(
+    report = conformance_pass(
         scenarios=[ScenarioSpec(name="ring-n6", family="ring", size=6, seed=0)],
         pairs_per_scenario=2,
         provider=provider,
@@ -83,7 +83,7 @@ def test_violations_are_reported_not_swallowed(provider, monkeypatch):
     monkeypatch.setattr(
         conformance_module, "applicable_routers", lambda deployment, dimension: (lying,)
     )
-    report = run_conformance(
+    report = conformance_pass(
         scenarios=[
             ScenarioSpec(name="two-rings-n10", family="two-rings", size=10, seed=0)
         ],

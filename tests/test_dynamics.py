@@ -9,11 +9,11 @@ import pytest
 from repro.errors import GraphStructureError
 from repro.graphs import generators
 from repro.graphs.labeled_graph import LabeledGraph
+from repro.core.engine import prepare_schedule
 from repro.network.dynamics import (
     DynamicOutcome,
     TopologySchedule,
     reference_route_over_schedule,
-    route_many_over_schedule,
     route_over_schedule,
     validate_schedule,
 )
@@ -153,7 +153,7 @@ def test_route_over_schedule_rejects_unsorted_switch_times(provider):
     with pytest.raises(GraphStructureError, match="strictly increasing"):
         route_over_schedule(bad, 0, 2, provider=provider)
     with pytest.raises(GraphStructureError, match="strictly increasing"):
-        route_many_over_schedule(bad, [(0, 2)], provider=provider)
+        prepare_schedule(bad).route_many([(0, 2)], provider=provider)
     with pytest.raises(GraphStructureError, match="strictly increasing"):
         reference_route_over_schedule(bad, 0, 2, provider=provider)
 
@@ -226,8 +226,13 @@ def test_engine_matches_reference_walker_everywhere(provider):
 def test_route_many_over_schedule_matches_single_calls(provider):
     schedule = _parity_schedules()[2]
     pairs = [(0, 8), (0, 4), (1, 7), (2, 2)]
-    batch = route_many_over_schedule(schedule, pairs, provider=provider)
+    batch = prepare_schedule(schedule).route_many(pairs, provider=provider)
     singles = [
         route_over_schedule(schedule, s, t, provider=provider) for s, t in pairs
     ]
     assert batch == singles
+    # The lockstep batched stepper must agree with the scalar walks too.
+    lockstep = prepare_schedule(schedule).route_many(
+        pairs, provider=provider, lockstep=True
+    )
+    assert lockstep == singles

@@ -36,6 +36,67 @@ def test_zero_fraction_fails_nothing():
     assert plan.is_empty()
 
 
+class _RecordingSimulator:
+    """Test double that records the exact order and arguments of failures."""
+
+    def __init__(self):
+        self.calls = []
+
+    def fail_link(self, u, v):
+        self.calls.append(("link", u, v))
+
+    def fail_node(self, v):
+        self.calls.append(("node", v))
+
+
+def test_apply_order_is_sorted_not_hash_dependent():
+    # Iterating the sets directly would follow hash order (which varies with
+    # PYTHONHASHSEED); apply() must fail links and nodes in sorted order with
+    # sorted endpoint unpacking, whatever the insertion order was.
+    plan = FailurePlan()
+    for u, v in [(9, 2), (7, 1), (5, 0), (3, 3)]:
+        plan.fail_link(u, v)
+    plan.fail_node(8)
+    plan.fail_node(1)
+    simulator = _RecordingSimulator()
+    plan.apply(simulator)
+    assert simulator.calls == [
+        ("link", 0, 5),
+        ("link", 1, 7),
+        ("link", 2, 9),
+        ("link", 3, 3),
+        ("node", 1),
+        ("node", 8),
+    ]
+
+
+def test_identical_plans_produce_identical_traces(provider):
+    # Regression: two plans with the same contents (built in different
+    # insertion orders, with swapped endpoint order) must drive the simulator
+    # through the identical event trace.
+    graph = generators.grid_graph(4, 4)
+    links = [(0, 1), (5, 6), (9, 10), (2, 6), (8, 12)]
+    plan_a = FailurePlan()
+    for u, v in links:
+        plan_a.fail_link(u, v)
+    plan_a.fail_node(11)
+    plan_b = FailurePlan()
+    for u, v in reversed(links):
+        plan_b.fail_link(v, u)
+    plan_b.fail_node(11)
+    assert plan_a.failed_links == plan_b.failed_links
+
+    traces = []
+    for plan in (plan_a, plan_b):
+        network = build_graph_network(graph)
+        result, _protocol = _run_routing_with_plan(
+            network, plan, provider, source=0, target=15
+        )
+        assert result.completed
+        traces.append(result.trace)
+    assert traces[0] == traces[1]
+
+
 def _run_routing_with_plan(network, plan, provider, source, target):
     protocol = RouteProtocol(network, source=source, target=target, provider=provider)
     simulator = network.simulator()

@@ -24,7 +24,9 @@ def test_hybrid_delivers_when_fast_router_succeeds(provider, grid_4x4):
     assert result.outcome is RouteOutcome.SUCCESS
     assert result.delivered
     assert result.winner in ("fast", "guaranteed")
-    assert result.total_messages == 2 * result.rounds
+    assert result.total_messages == result.rounds + min(
+        result.fast_attempt.hops, result.rounds
+    )
 
 
 def test_hybrid_guaranteed_backstop_when_fast_router_fails(provider, grid_4x4):
@@ -64,6 +66,57 @@ def test_hybrid_fast_win_costs_no_more_than_fast_alone_doubled(provider):
     result = hybrid_route(graph, 0, 8, fast, provider=provider)
     if result.fast_won:
         assert result.total_messages == 2 * standalone.hops
+
+
+def test_hybrid_charges_terminated_fast_router_only_its_own_hops(provider, grid_4x4):
+    # A fast router with a 1-hop budget stops (undelivered) long before the
+    # guaranteed walk's stopping round; it must be charged min(fast.hops,
+    # rounds) messages, not one per round — 2 * rounds would overstate
+    # Corollary 2's cost.
+    result = hybrid_route(
+        grid_4x4, 0, 15, _fast_random_walk(seed=1, max_steps=1), provider=provider
+    )
+    assert result.winner == "guaranteed"
+    assert result.rounds == result.guaranteed_result.physical_hops
+    assert result.fast_attempt.hops < result.rounds
+    assert result.total_messages == result.rounds + result.fast_attempt.hops
+    assert result.total_messages < 2 * result.rounds
+
+
+def test_hybrid_fast_router_still_running_is_charged_every_round(provider, grid_4x4):
+    # A fast router that delivers *later* than the guaranteed one is still in
+    # flight at the stopping round, so both walks pay one message per round.
+    guaranteed_cost = hybrid_route(
+        grid_4x4, 0, 15, _fast_random_walk(seed=1, max_steps=1), provider=provider
+    ).guaranteed_result.physical_hops
+
+    def slow_but_successful(graph, source, target):
+        return RoutingAttempt(
+            algorithm="slow", delivered=True, hops=guaranteed_cost + 5
+        )
+
+    result = hybrid_route(grid_4x4, 0, 15, slow_but_successful, provider=provider)
+    assert result.winner == "guaranteed"
+    assert result.rounds == guaranteed_cost
+    assert result.total_messages == 2 * result.rounds
+
+
+def test_hybrid_tie_break_goes_to_the_fast_router(provider, grid_4x4):
+    # fast_cost == guaranteed_cost must resolve to the fast router winning.
+    guaranteed_cost = hybrid_route(
+        grid_4x4, 0, 15, _fast_random_walk(seed=1, max_steps=1), provider=provider
+    ).guaranteed_result.physical_hops
+    assert guaranteed_cost > 0
+
+    def tying_router(graph, source, target):
+        return RoutingAttempt(algorithm="tie", delivered=True, hops=guaranteed_cost)
+
+    result = hybrid_route(grid_4x4, 0, 15, tying_router, provider=provider)
+    assert result.fast_won
+    assert result.winner == "fast"
+    assert result.outcome is RouteOutcome.SUCCESS
+    assert result.rounds == guaranteed_cost
+    assert result.total_messages == 2 * result.rounds
 
 
 def test_hybrid_rejects_inconsistent_fast_router(provider, two_components):

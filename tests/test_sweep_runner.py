@@ -12,7 +12,7 @@ import json
 
 import pytest
 
-from repro.analysis.conformance import default_conformance_matrix, run_conformance
+from repro.analysis.conformance import conformance_pass, default_conformance_matrix
 from repro.analysis.experiments import (
     ScenarioSpec,
     dynamic_schedule_scenarios,
@@ -31,6 +31,7 @@ from repro.analysis.runner import (
     shard_seed,
 )
 from repro.core.engine import clear_prepared_caches, prepare, prepared_cache_info
+from repro.deprecation import reset_warnings
 from repro.errors import ExperimentError
 from repro.graphs import generators
 
@@ -306,12 +307,17 @@ def _count_edges_evaluate(spec: ScenarioSpec, network):
 
 
 def test_run_parameter_sweep_parallel_matches_reference():
+    # run_parameter_sweep is a deprecation shim, exercised here on purpose to
+    # check its workers= wiring; its warn-once DeprecationWarning is asserted
+    # so it cannot leak into the suite (filterwarnings = error).
+    reset_warnings()
     scenarios = structured_scenarios("ring", [5, 7]) + structured_scenarios("grid", [9])
     headers = ["name", "nodes", "edges"]
     reference = reference_run_parameter_sweep(
         "demo", headers, scenarios, _count_edges_evaluate
     )
-    serial = run_parameter_sweep("demo", headers, scenarios, _count_edges_evaluate)
+    with pytest.warns(DeprecationWarning, match="SweepRequest"):
+        serial = run_parameter_sweep("demo", headers, scenarios, _count_edges_evaluate)
     parallel = run_parameter_sweep(
         "demo", headers, scenarios, _count_edges_evaluate, workers=2
     )
@@ -327,8 +333,8 @@ def test_run_parameter_sweep_parallel_matches_reference():
 
 def test_conformance_parallel_matches_serial():
     scenarios = default_conformance_matrix()[:4]
-    serial = run_conformance(scenarios=scenarios, pairs_per_scenario=2)
-    parallel = run_conformance(scenarios=scenarios, pairs_per_scenario=2, workers=2)
+    serial = conformance_pass(scenarios=scenarios, pairs_per_scenario=2)
+    parallel = conformance_pass(scenarios=scenarios, pairs_per_scenario=2, workers=2)
     assert parallel.rows == serial.rows
     assert parallel.checks == serial.checks
     assert parallel.violations == serial.violations
