@@ -32,7 +32,7 @@ import sys
 import time
 from typing import List, Tuple
 
-from bench_utils import PROVIDER, emit_table, prepared
+from bench_utils import PROVIDER, emit_bench_json, emit_table, prepared
 from repro.core.batch_kernel import HAVE_NUMPY
 from repro.graphs import generators
 from repro.graphs.labeled_graph import LabeledGraph
@@ -122,6 +122,22 @@ def _emit(report: dict) -> None:
             "per-pair forward/backward accounting from the recorded "
             "trajectory."
         ),
+    )
+    emit_bench_json(
+        "batch",
+        {
+            "mode": "smoke" if SMOKE else "full",
+            "config": {
+                "grid_side": GRID_SIDE,
+                "num_pairs": len(pairs),
+                "min_speedup": MIN_SPEEDUP,
+            },
+            "reference_seconds": report["reference_elapsed"],
+            "batched_seconds": report["batched_elapsed"],
+            "speedup": report["speedup"],
+            "mismatches": len(report["mismatches"]),
+            "delivered": report["delivered"],
+        },
     )
 
 

@@ -32,7 +32,7 @@ import os
 import sys
 import time
 
-from bench_utils import emit_table
+from bench_utils import emit_bench_json, emit_table
 from repro.analysis.experiments import unit_disk_scenarios
 from repro.analysis.runner import plan_sweep, run_sweep
 from repro.core.engine import clear_prepared_caches
@@ -119,6 +119,25 @@ def _emit(report: dict) -> None:
             "completion order but aggregation replays plan order, and every "
             "shard derives its trial seed from the master seed alone."
         ),
+    )
+    emit_bench_json(
+        "sweep",
+        {
+            "mode": "smoke" if SMOKE else "full",
+            "config": {
+                "sizes": list(SIZES),
+                "seeds": list(SEEDS),
+                "pairs": PAIRS,
+                "workers": WORKERS,
+                "min_speedup": MIN_SPEEDUP,
+            },
+            "serial_seconds": report["serial_elapsed"],
+            "parallel_seconds": report["parallel_elapsed"],
+            "speedup": report["speedup"],
+            "identical": report["identical"],
+            "rows": report["rows"],
+            "cores": report["cores"],
+        },
     )
 
 

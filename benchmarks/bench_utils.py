@@ -11,8 +11,11 @@ raw performance.  Run the whole harness with::
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, Sequence
+import platform
+import sys
+from typing import Dict, Iterable, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.core.engine import PreparedNetwork, prepare
@@ -37,6 +40,50 @@ def prepared(network_or_graph) -> PreparedNetwork:
     walk kernel) instead of re-deriving topology state per measurement.
     """
     return prepare(network_or_graph)
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Identify the measuring host, so persisted timings can be interpreted.
+
+    Regression gating (``tools/check_bench.py``) compares fresh
+    ``BENCH_<name>.json`` reports against committed baselines; the
+    fingerprint travels with both sides so a cross-machine comparison is
+    visible in the artifacts rather than silently misleading.
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - exercised by the no-NumPy CI job
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": numpy_version,
+    }
+
+
+def emit_bench_json(name: str, payload: Dict[str, object]) -> str:
+    """Persist one machine-readable benchmark report; return its path.
+
+    Writes ``benchmarks/output/BENCH_<name>.json`` containing ``payload``
+    plus the shared envelope (benchmark name, machine fingerprint).  Every
+    benchmark module calls this next to its human-readable table so CI can
+    upload the JSON artifacts and gate on them with ``tools/check_bench.py``.
+    Timing fields are seconds (floats); ``payload`` must be JSON-serialisable.
+    """
+    report = {"benchmark": name, "machine": machine_fingerprint()}
+    report.update(payload)
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench json written to {path}]")
+    return path
 
 
 def emit_table(

@@ -18,17 +18,27 @@ shards that grid across a process pool:
   :func:`repro.core.engine.prepare` / ``prepare_schedule`` engine caches mean
   that shards over the same spec — one scenario routed by several routers —
   build and compile their graph once per worker process.
+* :func:`evaluate_shards` is the batched worker body: all static
+  engine-router shards of a group are aggregated into **one**
+  :func:`repro.core.engine.route_many_multi` call, so every scenario's pairs
+  advance together over the stacked multi-graph lockstep tensor
+  (:class:`repro.core.batch_kernel.MultiGraphWalk`) — an entire sweep group
+  becomes a handful of NumPy calls instead of a per-scenario Python loop.
+  Rows are bitwise identical to :func:`evaluate_shard` (asserted by tests
+  and ``benchmarks/bench_multigraph.py``); schedule and baseline shards run
+  through :func:`evaluate_shard` unchanged.
 * :func:`run_sweep` executes a plan.  ``workers <= 1`` runs the shards
   serially in-process — this is the executable reference the parallel path
-  must match row for row.  ``workers > 1`` submits shards to a
-  ``ProcessPoolExecutor`` and streams each shard's rows to a JSONL file as it
-  completes (one flushed line per shard, so a crash loses at most the shards
-  still in flight).  Rerunning with ``resume=True`` skips every shard whose
-  record is already on disk; a partial trailing line from a killed run is
-  ignored.  Aggregation always replays the shards in plan order, so the
-  resulting :class:`~repro.analysis.experiments.ExperimentResult` is
-  row-for-row identical to a serial run with the same master seed, whatever
-  the completion order was.
+  must match row for row.  ``workers > 1`` splits the shards into contiguous
+  groups, submits the groups to a ``ProcessPoolExecutor`` (each worker runs
+  its group through :func:`evaluate_shards`) and streams each shard's rows
+  to a JSONL file as its group completes (one flushed line per shard).
+  Rerunning with ``resume=True`` skips every shard whose record is already
+  on disk; a partial trailing line from a killed run is ignored.
+  Aggregation always replays the shards in plan order, so the resulting
+  :class:`~repro.analysis.experiments.ExperimentResult` is row-for-row
+  identical to a serial run with the same master seed, whatever the worker
+  count or completion order was.
 
 The CLI front end is ``python -m repro sweep`` (see ``docs/cli.md``);
 ``benchmarks/bench_sweep.py`` measures the scaling and asserts aggregate
@@ -55,7 +65,12 @@ from repro.analysis.experiments import (
     pick_source_target_pairs,
 )
 from repro.baselines import ALL_ROUTER_SPECS, router_applies
-from repro.core.engine import clear_prepared_caches, prepare, prepare_schedule
+from repro.core.engine import (
+    clear_prepared_caches,
+    prepare,
+    prepare_schedule,
+    route_many_multi,
+)
 from repro.core.routing import RouteOutcome
 from repro.errors import ExperimentError
 from repro.network.dynamics import DynamicOutcome
@@ -71,6 +86,7 @@ __all__ = [
     "shard_seed",
     "plan_sweep",
     "evaluate_shard",
+    "evaluate_shards",
     "run_sweep",
     "parallel_map",
     "map_scenario_rows",
@@ -334,6 +350,33 @@ def _row(
     ]
 
 
+def _engine_rows(
+    spec: ScenarioSpec,
+    router: str,
+    pairs: Sequence[Tuple[int, int]],
+    results: Sequence[object],
+) -> List[List[object]]:
+    """Table rows of one engine-router shard from its ``RouteResult`` list.
+
+    Shared by the per-shard path (:func:`evaluate_shard`) and the batched
+    multi-graph path (:func:`evaluate_shards`), so the two cannot disagree
+    on how a result becomes a row.
+    """
+    return [
+        _row(
+            spec,
+            router,
+            source,
+            target,
+            delivered=result.delivered,
+            detected=result.outcome is RouteOutcome.FAILURE,
+            hops=result.physical_hops,
+            steps=result.total_virtual_steps,
+        )
+        for (source, target), result in zip(pairs, results)
+    ]
+
+
 def evaluate_shard(shard: SweepShard) -> List[List[object]]:
     """Build the shard's scenario locally and produce its table rows.
 
@@ -373,19 +416,7 @@ def evaluate_shard(shard: SweepShard) -> List[List[object]]:
     if shard.router == ENGINE_ROUTER:
         engine = prepare(network.graph)
         results = engine.route_many(pairs, namespace_size=network.namespace_size)
-        return [
-            _row(
-                spec,
-                shard.router,
-                source,
-                target,
-                delivered=result.delivered,
-                detected=result.outcome is RouteOutcome.FAILURE,
-                hops=result.physical_hops,
-                steps=result.total_virtual_steps,
-            )
-            for (source, target), result in zip(pairs, results)
-        ]
+        return _engine_rows(spec, shard.router, pairs, results)
     router = _router_by_name(shard.router)
     rows: List[List[object]] = []
     for source, target in pairs:
@@ -403,6 +434,63 @@ def evaluate_shard(shard: SweepShard) -> List[List[object]]:
             )
         )
     return rows
+
+
+def evaluate_shards(
+    shards: Sequence[SweepShard],
+    multigraph: Optional[bool] = None,
+) -> List[List[List[object]]]:
+    """Evaluate several shards at once; returns rows per shard, in order.
+
+    All static engine-router shards are aggregated into one
+    :func:`repro.core.engine.route_many_multi` call: every scenario's graph
+    is prepared (once, via the shared kernel-store caches), and all
+    scenarios' pairs advance together over the stacked multi-graph lockstep
+    tensor — a handful of NumPy calls for the whole group, instead of
+    re-entering Python per scenario.  Schedule and baseline shards run
+    through :func:`evaluate_shard` unchanged.
+
+    ``multigraph`` is the dispatch tri-state: ``None`` (default) lets the
+    aggregate batch size decide (small groups fall back to the scalar
+    reference, exactly like ``route_many``), ``True`` forces the stacked
+    kernel, ``False`` reproduces the per-shard PR-5 path — one
+    :func:`evaluate_shard` call per shard — which is the comparator
+    ``benchmarks/bench_multigraph.py`` measures against.  Rows are bitwise
+    identical for every setting.
+    """
+    shards = list(shards)
+    rows_by_index: Dict[int, List[List[object]]] = {}
+    engine_shards: List[SweepShard] = []
+    for shard in shards:
+        if multigraph is not False and shard.router == ENGINE_ROUTER:
+            engine_shards.append(shard)
+        else:
+            rows_by_index[shard.index] = evaluate_shard(shard)
+    if engine_shards:
+        tasks = []
+        shard_pairs: List[List[Tuple[int, int]]] = []
+        for shard in engine_shards:
+            network = _materialise("network", shard.spec, build_scenario)
+            pairs = pick_source_target_pairs(network, shard.pairs, seed=shard.seed)
+            shard_pairs.append(pairs)
+            tasks.append((prepare(network.graph), pairs, network.namespace_size))
+        batched = route_many_multi(
+            tasks, lockstep=True if multigraph else None
+        )
+        for shard, pairs, results in zip(engine_shards, shard_pairs, batched):
+            rows_by_index[shard.index] = _engine_rows(
+                shard.spec, shard.router, pairs, results
+            )
+    return [rows_by_index[shard.index] for shard in shards]
+
+
+def _evaluate_shard_group(
+    group: Tuple[Tuple[SweepShard, ...], Optional[bool]]
+) -> List[Tuple[int, List[List[object]]]]:
+    """Picklable pool task: one worker's shard group through ``evaluate_shards``."""
+    shards, multigraph = group
+    rows = evaluate_shards(shards, multigraph=multigraph)
+    return [(shard.index, shard_rows) for shard, shard_rows in zip(shards, rows)]
 
 
 # --------------------------------------------------------------------------- #
@@ -467,19 +555,27 @@ def run_sweep(
     workers: int = 1,
     out_path: Optional[str] = None,
     resume: bool = False,
+    multigraph: Optional[bool] = None,
 ) -> SweepOutcome:
     """Execute a sweep plan; return the deterministic aggregated table.
 
-    ``workers <= 1`` runs every shard serially in-process — the executable
-    reference.  ``workers > 1`` fans the shards out over a process pool and
-    collects them as they finish.  Either way, when ``out_path`` is given
-    each completed shard is appended to it as one JSONL record immediately,
-    and with ``resume=True`` shards whose records are already on disk (from
-    a previous, possibly killed, run of the *same* plan) are skipped.
+    ``workers <= 1`` runs every pending shard in-process through one
+    :func:`evaluate_shards` call, so all static engine shards share one
+    multi-graph lockstep run — the executable reference.  ``workers > 1``
+    splits the pending shards into contiguous groups and fans the groups out
+    over a process pool; each worker batches its group the same way.  Either
+    way, when ``out_path`` is given each completed shard is appended to it
+    as one JSONL record, and with ``resume=True`` shards whose records are
+    already on disk (from a previous, possibly killed, run of the *same*
+    plan) are skipped.
 
-    Aggregation replays the shards in plan order, so the returned table is
-    row-for-row identical to the serial reference regardless of worker
-    count, completion order, or how many shards were resumed from disk.
+    ``multigraph`` forwards the dispatch tri-state of
+    :func:`evaluate_shards`: ``None`` auto-dispatches on aggregate batch
+    size, ``True`` forces the stacked multi-graph kernel, ``False``
+    reproduces the per-shard PR-5 path.  Rows are bitwise identical for
+    every setting and every worker count: aggregation replays the shards in
+    plan order, so the returned table matches the serial reference
+    regardless of completion order or how many shards were resumed.
     """
     if resume and out_path is None:
         raise ExperimentError("resume=True needs an out_path: there is no shard stream to resume from")
@@ -563,15 +659,33 @@ def run_sweep(
                 )
 
         if workers <= 1 or len(pending) <= 1:
-            for shard in pending:
-                record_shard(shard, evaluate_shard(shard))
+            for shard, rows in zip(
+                pending, evaluate_shards(pending, multigraph=multigraph)
+            ):
+                record_shard(shard, rows)
         elif pending:
+            # Contiguous groups preserve plan locality (shards over the same
+            # spec land in the same worker) and let each worker batch its
+            # whole group through one multi-graph lockstep run.
+            group_count = min(workers, len(pending))
+            base, extra = divmod(len(pending), group_count)
+            groups: List[Tuple[SweepShard, ...]] = []
+            cursor = 0
+            for group_index in range(group_count):
+                size = base + (1 if group_index < extra else 0)
+                groups.append(tuple(pending[cursor : cursor + size]))
+                cursor += size
+            shard_of = {shard.index: shard for shard in pending}
             with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending)), initializer=_worker_init
+                max_workers=group_count, initializer=_worker_init
             ) as pool:
-                futures = {pool.submit(evaluate_shard, shard): shard for shard in pending}
+                futures = [
+                    pool.submit(_evaluate_shard_group, (group, multigraph))
+                    for group in groups
+                ]
                 for future in as_completed(futures):
-                    record_shard(futures[future], future.result())
+                    for index, rows in future.result():
+                        record_shard(shard_of[index], rows)
     finally:
         if handle is not None:
             handle.close()

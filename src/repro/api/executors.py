@@ -378,7 +378,13 @@ def execute_compare(request, store: ScenarioStore) -> TaskComputation:
 
 
 def execute_sweep(request, workers: int) -> TaskComputation:
-    """Body of the ``sweep`` task; ``workers`` is decided by the backend."""
+    """Body of the ``sweep`` task; ``workers`` is decided by the backend.
+
+    The runner batches each worker's static engine shards through the
+    multi-graph lockstep kernel automatically (``run_sweep``'s default
+    ``multigraph=None`` auto-dispatch); rows are bitwise identical to the
+    per-shard reference path either way.
+    """
     from repro.analysis.runner import plan_sweep, run_sweep
 
     plan = plan_sweep(

@@ -9,7 +9,7 @@ view of the walk — over the flat arrays of
 :class:`repro.core.walk_kernel.CompiledWalk`, with one fused gather per step
 for the whole batch.
 
-Two steppers are provided:
+Three steppers are provided:
 
 :class:`BatchedWalk` (static networks)
     Walk state is a single integer ``state = 3 * vertex + entry_port``; the
@@ -34,6 +34,23 @@ Two steppers are provided:
     switch-overs translate every in-flight walk between kernels through a
     precomputed translation table (:func:`translation_table`).  Semantics are
     tick-for-tick those of :meth:`repro.core.engine.PreparedSchedule.route`.
+
+:class:`MultiGraphWalk` (static networks, several graphs at once)
+    The per-graph transition tables of several :class:`BatchedWalk` steppers
+    are stacked into one ``(3, total_states)`` tensor with cumulative
+    per-graph state bases, and each distinct exploration sequence becomes a
+    row of one zero-padded offsets matrix — so walks over *different*
+    compiled graphs, with *different* sequence lengths, all advance with a
+    single fused gather per global step (``state = step[off, state]`` where
+    ``off`` is gathered per front from the offsets matrix).  Per-front
+    sequence-length clamps keep termination detection and accounting exactly
+    those of :class:`BatchedWalk`; the accounting reductions are literally
+    shared (:func:`_account_from_trajectory`), so the multi-graph path is
+    bitwise identical to running each graph's batch alone — which is itself
+    bitwise identical to the scalar walk.  This is what lets an entire sweep
+    shard (all scenarios x all pairs) execute as a handful of NumPy calls in
+    :func:`repro.core.engine.route_many_multi` /
+    :func:`repro.analysis.runner.evaluate_shards`.
 
 **NumPy is optional.**  When it is not importable, :data:`HAVE_NUMPY` is
 False, the classes raise on construction, and the engine's ``route_many``
@@ -60,10 +77,12 @@ except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
 __all__ = [
     "HAVE_NUMPY",
     "BatchedWalk",
+    "MultiGraphWalk",
     "ScheduleBatchedWalk",
     "StaticWalkAccount",
     "ScheduleWalkAccount",
     "batched_walk_for",
+    "multigraph_walk_for",
     "clear_batch_caches",
     "batch_cache_info",
     "translation_table",
@@ -89,7 +108,10 @@ _MAX_BUFFER_ELEMENTS = 1 << 26
 
 #: Bound on cached per-kernel batched steppers / per-sequence offset arrays.
 _BATCH_CACHE_LIMIT = 64
-_NP_OFFSETS_CACHE_LIMIT = 8
+# Sized to hold a whole multi-graph sweep group's sequences (one per (graph,
+# size-bound) job), not just a single engine's working set — a group larger
+# than this cache would re-convert every tuple on every run.
+_NP_OFFSETS_CACHE_LIMIT = 64
 
 #: Outcome codes of :class:`ScheduleBatchedWalk` (mirroring DynamicOutcome,
 #: which lives above this module in the layer order).
@@ -116,6 +138,42 @@ class StaticWalkAccount:
     backward_steps: int
     physical_hops: int
     target_found_at: Optional[int]
+
+
+def _account_from_trajectory(
+    trajectory: "_np.ndarray",
+    source: int,
+    sequence_length: int,
+    target_found: Optional[int],
+) -> StaticWalkAccount:
+    """Recover one pair's full accounting from its recorded owner trajectory.
+
+    The backward phase retraces the forward walk exactly (reversibility,
+    Section 2 of the paper), so every reported number is a function of the
+    forward owner sequence: the walk runs ``forward_steps`` steps (the hit
+    step, or the whole sequence on failure), backtracks to the *last* visit
+    of the source, and counts a physical hop at every owner change in both
+    directions.  Shared verbatim by :class:`BatchedWalk` and
+    :class:`MultiGraphWalk`, so the single- and multi-graph lockstep paths
+    cannot drift apart.
+    """
+    forward_steps = sequence_length if target_found is None else target_found
+    owner_walk = trajectory[: forward_steps + 1]
+    changes = owner_walk[1:] != owner_walk[:-1]
+    source_visits = _np.nonzero(owner_walk == source)[0]
+    if not source_visits.size:  # pragma: no cover - impossible:
+        # position 0 is the source's gateway.
+        raise RoutingError("backtracking failed to return to the source")
+    last_visit = int(source_visits[-1])
+    return StaticWalkAccount(
+        success=target_found is not None,
+        forward_steps=int(forward_steps),
+        backward_steps=int(forward_steps - last_visit),
+        physical_hops=int(
+            _np.count_nonzero(changes) + _np.count_nonzero(changes[last_visit:])
+        ),
+        target_found_at=target_found,
+    )
 
 
 @dataclass(frozen=True)
@@ -291,28 +349,10 @@ class BatchedWalk:
             trajectory = _np.concatenate(trajectory_rows)
             for index in by_source[source]:
                 target_found = found_at.get(index)
-                if target_found is None:
-                    if truncated:
-                        continue  # already queued as unresolved
-                    forward_steps = length
-                else:
-                    forward_steps = target_found
-                owner_walk = trajectory[: forward_steps + 1]
-                changes = owner_walk[1:] != owner_walk[:-1]
-                source_visits = _np.nonzero(owner_walk == source)[0]
-                if not source_visits.size:  # pragma: no cover - impossible:
-                    # position 0 is the source's gateway.
-                    raise RoutingError("backtracking failed to return to the source")
-                last_visit = int(source_visits[-1])
-                accounts[index] = StaticWalkAccount(
-                    success=target_found is not None,
-                    forward_steps=int(forward_steps),
-                    backward_steps=int(forward_steps - last_visit),
-                    physical_hops=int(
-                        _np.count_nonzero(changes)
-                        + _np.count_nonzero(changes[last_visit:])
-                    ),
-                    target_found_at=target_found,
+                if target_found is None and truncated:
+                    continue  # already queued as unresolved
+                accounts[index] = _account_from_trajectory(
+                    trajectory, source, length, target_found
                 )
         return accounts, unresolved
 
@@ -492,6 +532,246 @@ def translation_table(
     return table
 
 
+class MultiGraphWalk:
+    """Lockstep stepper over *several* compiled graphs stacked into one tensor.
+
+    Construction concatenates the per-offset transition arrays of the given
+    :class:`BatchedWalk` steppers with cumulative state bases::
+
+        step[o][base_g + s] = base_g + stepper_g.step[o][s]
+
+    so a global walk state carries its graph implicitly and one fused gather
+    advances walks over different graphs simultaneously.  ``owner_state`` is
+    concatenated the same way and yields *graph-local* original vertex ids —
+    each front only ever compares owners against targets of its own graph, so
+    overlapping id ranges between graphs are harmless.
+
+    :meth:`run` takes *jobs* — ``(stepper index, pairs, offsets)`` triples,
+    one per (graph, size-bound) group — whose exploration sequences may have
+    different lengths: each distinct job contributes a row to a zero-padded
+    ``int8`` offsets matrix, fronts gather their current offset from their
+    row, and a per-front sequence-length clamp ignores any trajectory
+    recorded past the front's own horizon.  Accounting is the shared
+    :func:`_account_from_trajectory` reduction, so results are bitwise
+    identical to running each job through :class:`BatchedWalk` alone.
+    """
+
+    __slots__ = (
+        "steppers",
+        "step",
+        "step_flat",
+        "owner_state",
+        "state_base",
+        "num_states",
+    )
+
+    def __init__(self, steppers: Sequence[BatchedWalk]) -> None:
+        _require_numpy()
+        if not steppers:
+            raise RoutingError("MultiGraphWalk needs at least one stepper")
+        self.steppers = list(steppers)
+        bases: List[int] = []
+        total = 0
+        for stepper in self.steppers:
+            bases.append(total)
+            total += stepper.num_states
+        self.state_base = bases
+        self.num_states = total
+        # One (3, total_states) tensor: row o is the offset-o transition of
+        # every graph, shifted into the global state space.
+        self.step = _np.stack(
+            [
+                _np.concatenate(
+                    [
+                        stepper.step[offset] + base
+                        for stepper, base in zip(self.steppers, bases)
+                    ]
+                ).astype(_np.int32)
+                for offset in range(3)
+            ]
+        )
+        self.owner_state = _np.concatenate(
+            [stepper.owner_state for stepper in self.steppers]
+        )
+        # Flat view for the hot loop: state' = step_flat[offset * num_states
+        # + state] folds the (offset, state) double gather into one add plus
+        # one 1-D gather per global step.
+        self.step_flat = _np.ascontiguousarray(self.step).reshape(-1)
+
+    def run(
+        self,
+        jobs: Sequence[Tuple[int, Sequence[Tuple[int, int]], Sequence[int]]],
+        start_port: int = 0,
+        max_buffer_elements: int = _MAX_BUFFER_ELEMENTS,
+    ) -> Tuple[Dict[Tuple[int, int], StaticWalkAccount], List[Tuple[int, int]]]:
+        """Route every job's pairs in one lockstep run over the stacked tensor.
+
+        ``jobs`` is a sequence of ``(stepper_index, pairs, offsets)``: the
+        pairs are graph-local ``(source, target)`` originals routed over
+        ``self.steppers[stepper_index]`` with that job's exploration
+        sequence.  Returns accounts keyed ``(job index, pair index)`` plus
+        the keys left unresolved by the trajectory buffer cap — the caller
+        finishes those on the scalar kernel (identical results).
+        """
+        step_flat = self.step_flat
+        num_states = self.num_states
+        owner_state = self.owner_state
+        state_base = self.state_base
+        steppers = self.steppers
+
+        # Cached int8 views of each job's exploration sequence (the tuple-to-
+        # array conversion is amortised across runs); the hot loop slices the
+        # walked window per chunk instead of materialising a padded
+        # jobs x max_length matrix — sequences run to millions of entries
+        # while typical batches resolve within a few thousand steps.
+        lengths = [len(offsets) for _stepper, _pairs, offsets in jobs]
+        max_length = max(lengths, default=0)
+        job_offsets = [
+            np_offsets_for(offsets) for _stepper, _pairs, offsets in jobs
+        ]
+
+        # Group each job's pairs by source: within one job, walks sharing a
+        # start state share their whole forward trajectory (same graph, same
+        # sequence), exactly as in BatchedWalk.
+        accounts: Dict[Tuple[int, int], StaticWalkAccount] = {}
+        found_at: Dict[Tuple[int, int], int] = {}
+        front_order: List[Tuple[int, int]] = []  # (job, source)
+        members: Dict[Tuple[int, int], List[int]] = {}
+        remaining: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        for job_index, (_stepper_index, pairs, _offsets) in enumerate(jobs):
+            for pair_index, (source, target) in enumerate(pairs):
+                front = (job_index, source)
+                if front not in members:
+                    members[front] = []
+                    remaining[front] = []
+                    front_order.append(front)
+                members[front].append(pair_index)
+                if target == source:
+                    # owner(start state) == source: success before any step.
+                    found_at[(job_index, pair_index)] = 0
+                else:
+                    remaining[front].append((pair_index, target))
+
+        # --- stage 1: advance all distinct fronts of all jobs in lockstep,
+        # recording the global-state trajectory chunk by chunk.
+        chunks: List[Tuple[Dict[Tuple[int, int], int], "_np.ndarray"]] = []
+        active: List[Tuple[int, int]] = [
+            front
+            for front in front_order
+            if remaining[front] and lengths[front[0]] > 0
+        ]
+        state = _np.array(
+            [
+                state_base[jobs[job][0]]
+                + 3 * steppers[jobs[job][0]].kernel.gateway(source)
+                + start_port
+                for job, source in active
+            ],
+            dtype=_np.int32,
+        )
+        front_rows = _np.array([job for job, _source in active], dtype=_np.int64)
+        buffered_elements = 0
+        global_step = 0
+        truncated = False
+        chunk_rows = _CHUNK_ROWS_MIN
+        while active and global_step < max_length:
+            rows = min(chunk_rows, max_length - global_step)
+            chunk_rows = min(2 * chunk_rows, _CHUNK_ROWS_MAX)
+            if buffered_elements + len(active) * rows > max_buffer_elements:
+                truncated = True
+                break
+            # Per-chunk window of every job's sequence, zero-padded past each
+            # job's horizon (offset 0 keeps padded states valid; accounting
+            # clamps to the real horizon below), gathered per active front
+            # and premultiplied into flat-table bases.
+            off_jobs = _np.zeros((len(jobs), rows), dtype=_np.int8)
+            for job, offsets_array in enumerate(job_offsets):
+                usable_rows = min(rows, lengths[job] - global_step)
+                if usable_rows > 0:
+                    off_jobs[job, :usable_rows] = offsets_array[
+                        global_step : global_step + usable_rows
+                    ]
+            bases = off_jobs[front_rows].astype(_np.int32)
+            bases *= num_states
+            bases = _np.ascontiguousarray(bases.T)
+            # Trajectory buffer is (rows, fronts): the per-step store and the
+            # next step's read then touch one contiguous row each.
+            buffer = _np.empty((rows, len(active)), dtype=_np.int32)
+            for row in range(rows):
+                # The one fused gather per global step: bases is per-chunk
+                # scratch, so the flat index is formed in place and the new
+                # states land directly in the trajectory buffer.
+                indices = bases[row]
+                indices += state
+                state = _np.take(step_flat, indices, out=buffer[row])
+            owners = owner_state[buffer]
+            buffered_elements += owners.size
+            column_of = {front: column for column, front in enumerate(active)}
+            chunks.append((column_of, owners))
+            for front in active:
+                job, source = front
+                # Clamp to this front's own horizon: trajectory recorded past
+                # its sequence length came from padded offsets and is never
+                # part of this front's walk.
+                usable = min(rows, lengths[job] - global_step)
+                if usable <= 0:
+                    continue
+                row_owners = owners[:usable, column_of[front]]
+                still_open: List[Tuple[int, int]] = []
+                for pair_index, target in remaining[front]:
+                    hits = _np.nonzero(row_owners == target)[0]
+                    if hits.size:
+                        found_at[(job, pair_index)] = (
+                            global_step + int(hits[0]) + 1
+                        )
+                    else:
+                        still_open.append((pair_index, target))
+                remaining[front] = still_open
+            global_step += rows
+            survivors = [
+                front
+                for front in active
+                if remaining[front] and lengths[front[0]] > global_step
+            ]
+            if len(survivors) != len(active):
+                keep = _np.array(
+                    [column_of[front] for front in survivors], dtype=_np.int64
+                )
+                state = state[keep]
+                front_rows = front_rows[keep]
+                active = survivors
+
+        # --- stage 2: shared per-pair accounting over recorded trajectories.
+        unresolved: List[Tuple[int, int]] = []
+        truncated_fronts = set(active) if truncated else set()
+        for front in front_order:
+            job, source = front
+            if front in truncated_fronts:
+                # Still walking when the buffer cap hit: every unfinished
+                # pair goes back to the scalar kernel.
+                unresolved.extend(
+                    (job, pair_index) for pair_index, _ in remaining[front]
+                )
+            trajectory_rows: List["_np.ndarray"] = [
+                _np.array([source], dtype=_np.int32)
+            ]
+            for column_of, owners in chunks:
+                column = column_of.get(front)
+                if column is None:
+                    break
+                trajectory_rows.append(owners[:, column])
+            trajectory = _np.concatenate(trajectory_rows)
+            for pair_index in members[front]:
+                key = (job, pair_index)
+                target_found = found_at.get(key)
+                if target_found is None and front in truncated_fronts:
+                    continue  # already queued as unresolved
+                accounts[key] = _account_from_trajectory(
+                    trajectory, source, lengths[job], target_found
+                )
+        return accounts, unresolved
+
+
 # --------------------------------------------------------------------------- #
 # Shared caches (mirroring the engine's per-process caches)
 # --------------------------------------------------------------------------- #
@@ -503,6 +783,11 @@ _BATCH_CACHE: "OrderedDict[int, BatchedWalk]" = OrderedDict()
 #: int8 offset arrays keyed by ``id(offsets tuple)`` (the engine's offsets
 #: cache keeps the tuples alive and identity-stable).
 _NP_OFFSETS_CACHE: "OrderedDict[int, Tuple[object, object]]" = OrderedDict()
+
+#: Stacked multi-graph steppers keyed by the tuple of member stepper ids;
+#: entries hold the steppers strongly so the ids stay valid.
+_MULTI_CACHE: "OrderedDict[Tuple[int, ...], Tuple[Tuple[BatchedWalk, ...], MultiGraphWalk]]" = OrderedDict()
+_MULTI_CACHE_LIMIT = 8
 
 
 def batched_walk_for(kernel: CompiledWalk) -> BatchedWalk:
@@ -517,6 +802,26 @@ def batched_walk_for(kernel: CompiledWalk) -> BatchedWalk:
     while len(_BATCH_CACHE) > _BATCH_CACHE_LIMIT:
         _BATCH_CACHE.popitem(last=False)
     return entry
+
+
+def multigraph_walk_for(steppers: Sequence[BatchedWalk]) -> MultiGraphWalk:
+    """The shared :class:`MultiGraphWalk` for an ordered stepper set.
+
+    Keyed by the member steppers' identities (held strongly by the entry),
+    so repeated sweep shards over the same compiled graphs reuse one stacked
+    tensor instead of re-concatenating it per call.
+    """
+    members = tuple(steppers)
+    key = tuple(id(stepper) for stepper in members)
+    entry = _MULTI_CACHE.get(key)
+    if entry is not None and all(a is b for a, b in zip(entry[0], members)):
+        _MULTI_CACHE.move_to_end(key)
+        return entry[1]
+    multi = MultiGraphWalk(members)
+    _MULTI_CACHE[key] = (members, multi)
+    while len(_MULTI_CACHE) > _MULTI_CACHE_LIMIT:
+        _MULTI_CACHE.popitem(last=False)
+    return multi
 
 
 def np_offsets_for(offsets: Sequence[int]) -> "_np.ndarray":
@@ -538,6 +843,7 @@ def clear_batch_caches() -> None:
     """Drop every cached batched stepper and offset array (worker cold start)."""
     _BATCH_CACHE.clear()
     _NP_OFFSETS_CACHE.clear()
+    _MULTI_CACHE.clear()
 
 
 def batch_cache_info() -> Dict[str, int]:
@@ -545,4 +851,5 @@ def batch_cache_info() -> Dict[str, int]:
     return {
         "batched_kernels": len(_BATCH_CACHE),
         "np_offset_entries": len(_NP_OFFSETS_CACHE),
+        "multigraph_kernels": len(_MULTI_CACHE),
     }

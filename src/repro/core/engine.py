@@ -71,10 +71,14 @@ exposes the cache sizes and hit counters for diagnostics.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.kernel_store import (
+    LRUCache,
+    configure_kernel_store,
+    kernel_store,
+)
 from repro.core.routing import (
     RouteOutcome,
     RouteResult,
@@ -97,10 +101,13 @@ __all__ = [
     "PreparedSchedule",
     "WalkTrace",
     "clear_prepared_caches",
+    "configure_kernel_store",
+    "kernel_store",
     "prepare",
     "prepare_schedule",
     "prepared_cache_info",
     "route_many",
+    "route_many_multi",
 ]
 
 #: Per-engine bound on cached (provider, bound) offset tuples; CountNodes'
@@ -151,6 +158,11 @@ class PreparedNetwork:
     namespace_size:
         Default namespace for header-size accounting; ``None`` means the
         number of vertices, matching :func:`repro.core.routing.route`.
+    kernel:
+        Pre-compiled walk kernel for ``graph``.  ``None`` (the default) asks
+        the process-wide :class:`~repro.core.kernel_store.KernelStore`, which
+        serves it from its disk tier when one is configured and compiles it
+        otherwise — that is how pool workers and restarts skip recompilation.
     """
 
     def __init__(
@@ -158,6 +170,7 @@ class PreparedNetwork:
         graph: LabeledGraph,
         default_provider_: Optional[SequenceProvider] = None,
         namespace_size: Optional[int] = None,
+        kernel: Optional[CompiledWalk] = None,
     ) -> None:
         self._graph = graph
         self._default_provider = (
@@ -166,13 +179,18 @@ class PreparedNetwork:
         self._namespace = (
             namespace_size if namespace_size is not None else max(1, graph.num_vertices)
         )
-        self._reduction = reduce_to_three_regular(graph)
-        self._kernel = CompiledWalk(self._reduction)
+        if kernel is None:
+            kernel = kernel_store().kernel_for(graph)
+        self._kernel = kernel
+        #: ``None`` when the kernel came from the disk tier (the reduction
+        #: object is not persisted); recomputed lazily by :attr:`reduction`
+        #: for the few callers that need it (verbose protocols).
+        self._reduction = kernel.reduction
         #: (id(provider), bound) -> (provider, offsets); the provider is kept
         #: so its id cannot be recycled while the entry lives.  LRU-bounded so
         #: sweeps that create a fresh provider per trial cannot pin an
         #: unbounded pile of providers and offset tuples on a cached engine.
-        self._offsets_cache: "OrderedDict[Tuple[int, int], Tuple[SequenceProvider, Tuple[int, ...]]]" = OrderedDict()
+        self._offsets_cache: LRUCache = LRUCache(_OFFSETS_CACHE_LIMIT)
         self._original_components: Optional[Dict[int, FrozenSet[int]]] = None
 
     # ------------------------------------------------------------------ #
@@ -186,7 +204,16 @@ class PreparedNetwork:
 
     @property
     def reduction(self) -> DegreeReducedGraph:
-        """The cached Fig. 1 degree reduction."""
+        """The Fig. 1 degree reduction (recomputed lazily after a disk load).
+
+        An engine whose kernel came from the kernel store's disk tier does
+        not carry the reduction object — the persisted arrays are all the
+        walk needs.  The reduction is deterministic per rotation map, so
+        recomputing it here yields exactly the structure the kernel was
+        compiled from.
+        """
+        if self._reduction is None:
+            self._reduction = reduce_to_three_regular(self._graph)
         return self._reduction
 
     @property
@@ -215,16 +242,13 @@ class PreparedNetwork:
         key = (id(provider), bound)
         entry = self._offsets_cache.get(key)
         if entry is not None:
-            self._offsets_cache.move_to_end(key)
             return entry[1]
         sequence = provider.sequence_for(bound)
         raw = getattr(sequence, "offsets", None)
         offsets = raw() if callable(raw) else tuple(
             sequence[i] for i in range(len(sequence))
         )
-        self._offsets_cache[key] = (provider, offsets)
-        while len(self._offsets_cache) > _OFFSETS_CACHE_LIMIT:
-            self._offsets_cache.popitem(last=False)
+        self._offsets_cache.put(key, (provider, offsets))
         return offsets
 
     def original_component(self, vertex: int) -> FrozenSet[int]:
@@ -616,23 +640,16 @@ class WalkTrace:
 
 
 # ---------------------------------------------------------------------- #
-# Shared engine cache
+# Shared engine cache (the kernel store's memory tier)
 # ---------------------------------------------------------------------- #
-
-#: Engines keyed by ``id(graph)``.  Entries hold the graph strongly, so an id
-#: can never be recycled while its entry is alive; the bound keeps long
-#: many-graph runs (sweeps, hypothesis tests) from accumulating state.
-_ENGINE_CACHE: "OrderedDict[int, PreparedNetwork]" = OrderedDict()
-_ENGINE_CACHE_LIMIT = 64
-
-#: Hit/miss counters for the two shared caches, per process.  Diagnostics
-#: only — reported by :func:`prepared_cache_info`, never read by algorithms.
-_CACHE_COUNTERS = {
-    "engine_hits": 0,
-    "engine_misses": 0,
-    "schedule_hits": 0,
-    "schedule_misses": 0,
-}
+# Engines are keyed by ``id(graph)`` in the store's bounded engine LRU.
+# Entries hold the graph strongly, so an id can never be recycled while its
+# entry is alive; the bound keeps long many-graph runs (sweeps, hypothesis
+# tests) from accumulating state, and evictions are counted in
+# ``prepared_cache_info()``.  Beneath the LRU, a compile goes through
+# ``KernelStore.kernel_for`` — which consults the content-addressed disk
+# tier first when one is configured (``configure_kernel_store`` /
+# ``REPRO_KERNEL_CACHE_DIR``).
 
 
 def prepare(network_or_graph: object) -> PreparedNetwork:
@@ -652,17 +669,15 @@ def prepare(network_or_graph: object) -> PreparedNetwork:
                 f"cannot prepare {network_or_graph!r}: expected a LabeledGraph "
                 "or an object with a .graph attribute"
             )
+    cache = kernel_store().engines
     key = id(graph)
-    engine = _ENGINE_CACHE.get(key)
+    engine = cache.peek(key)
     if engine is not None and engine.graph is graph:
-        _ENGINE_CACHE.move_to_end(key)
-        _CACHE_COUNTERS["engine_hits"] += 1
+        cache.touch(key)
         return engine
-    _CACHE_COUNTERS["engine_misses"] += 1
+    cache.record_miss()
     engine = PreparedNetwork(graph)
-    _ENGINE_CACHE[key] = engine
-    while len(_ENGINE_CACHE) > _ENGINE_CACHE_LIMIT:
-        _ENGINE_CACHE.popitem(last=False)
+    cache.put(key, engine)
     return engine
 
 
@@ -1065,11 +1080,9 @@ class PreparedSchedule:
         return results
 
 
-#: Prepared schedules keyed by ``id(schedule)``.  Entries hold the schedule
-#: strongly, so an id can never be recycled while its entry is alive; the
-#: bound keeps sweeps over many schedules from accumulating state.
-_SCHEDULE_CACHE: "OrderedDict[int, PreparedSchedule]" = OrderedDict()
-_SCHEDULE_CACHE_LIMIT = 16
+# Prepared schedules are keyed by ``id(schedule)`` in the store's bounded
+# schedule LRU; entries hold the schedule strongly, so an id can never be
+# recycled while its entry is alive.
 
 
 def prepare_schedule(schedule: "TopologySchedule") -> PreparedSchedule:
@@ -1081,18 +1094,163 @@ def prepare_schedule(schedule: "TopologySchedule") -> PreparedSchedule:
     so a graph that appears both as a snapshot and as a static routing target
     is compiled exactly once either way.
     """
+    cache = kernel_store().schedules
     key = id(schedule)
-    entry = _SCHEDULE_CACHE.get(key)
+    entry = cache.peek(key)
     if entry is not None and entry.schedule is schedule:
-        _SCHEDULE_CACHE.move_to_end(key)
-        _CACHE_COUNTERS["schedule_hits"] += 1
+        cache.touch(key)
         return entry
-    _CACHE_COUNTERS["schedule_misses"] += 1
+    cache.record_miss()
     entry = PreparedSchedule(schedule)
-    _SCHEDULE_CACHE[key] = entry
-    while len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_LIMIT:
-        _SCHEDULE_CACHE.popitem(last=False)
+    cache.put(key, entry)
     return entry
+
+
+# ---------------------------------------------------------------------- #
+# Multi-graph batch routing
+# ---------------------------------------------------------------------- #
+
+
+def route_many_multi(
+    tasks: Sequence[Tuple[object, Sequence[Tuple[int, int]], Optional[int]]],
+    provider: Optional[SequenceProvider] = None,
+    size_bound: Optional[int] = None,
+    start_port: int = 0,
+    lockstep: Optional[bool] = None,
+) -> List[List[RouteResult]]:
+    """Route several per-graph batches as **one** lockstep run.
+
+    ``tasks`` is a sequence of ``(engine_or_graph, pairs, namespace_size)``
+    triples — typically one per sweep scenario.  All tasks' pairs are grouped
+    into per-(graph, size-bound) jobs and advanced together over the stacked
+    transition tensor of :class:`repro.core.batch_kernel.MultiGraphWalk`, so
+    an entire sweep shard executes as a handful of NumPy calls instead of a
+    per-scenario Python loop.  Results come back as one
+    :class:`~repro.core.routing.RouteResult` list per task, element-for-
+    element identical to calling each engine's ``route_many`` (and therefore
+    to the scalar ``reference_route_many`` specification) — the multi-graph
+    parity tests and ``benchmarks/bench_multigraph.py`` assert it.
+
+    ``lockstep`` carries the usual tri-state: ``None`` auto-dispatches on the
+    *aggregate* batch size and work product (this is the whole point — many
+    small per-scenario batches that would each fall below the lockstep
+    threshold clear it together), ``True`` forces the stacked kernel,
+    ``False`` falls back to per-task ``route_many`` with ``lockstep=False``.
+    """
+    from repro.core.batch_kernel import HAVE_NUMPY
+
+    normalized: List[Tuple[PreparedNetwork, List[Tuple[int, int]], Optional[int]]] = []
+    for engine_or_graph, pairs, namespace_size in tasks:
+        engine = (
+            engine_or_graph
+            if isinstance(engine_or_graph, PreparedNetwork)
+            else prepare(engine_or_graph)
+        )
+        normalized.append((engine, list(pairs), namespace_size))
+
+    total_pairs = sum(len(pairs) for _engine, pairs, _ns in normalized)
+    aggregate_work = sum(
+        len(pairs) * engine.kernel.num_vertices
+        for engine, pairs, _ns in normalized
+    )
+    if lockstep is None:
+        use_stacked = (
+            HAVE_NUMPY
+            and total_pairs >= _LOCKSTEP_AUTO_MIN_STATIC
+            and aggregate_work >= _LOCKSTEP_AUTO_MIN_WORK
+        )
+    else:
+        use_stacked = bool(lockstep) and HAVE_NUMPY and total_pairs > 0
+    if not use_stacked:
+        return [
+            engine.route_many(
+                pairs,
+                provider=provider,
+                size_bound=size_bound,
+                start_port=start_port,
+                namespace_size=namespace_size,
+                lockstep=lockstep,
+            )
+            for engine, pairs, namespace_size in normalized
+        ]
+
+    from repro.core.batch_kernel import batched_walk_for, multigraph_walk_for
+
+    # One BatchedWalk per distinct kernel; one job per (task, size bound).
+    steppers: List[object] = []
+    stepper_index: Dict[int, int] = {}
+    jobs: List[Tuple[int, List[Tuple[int, int]], Sequence[int]]] = []
+    #: job -> (task index, task-local pair indices, bound, header_bits, length)
+    job_meta: List[Tuple[int, List[int], int, int, int]] = []
+    for task_index, (engine, pairs, namespace_size) in enumerate(normalized):
+        namespace = (
+            namespace_size if namespace_size is not None else engine._namespace
+        )
+        for source in {source for source, _ in pairs}:
+            engine._require_source(source)
+        groups: Dict[int, List[int]] = {}
+        for pair_index, (source, _target) in enumerate(pairs):
+            bound = engine.resolve_size_bound(source, size_bound)
+            groups.setdefault(bound, []).append(pair_index)
+        kernel_key = id(engine.kernel)
+        graph_slot = stepper_index.get(kernel_key)
+        if graph_slot is None:
+            graph_slot = len(steppers)
+            stepper_index[kernel_key] = graph_slot
+            steppers.append(batched_walk_for(engine.kernel))
+        for bound, indices in groups.items():
+            offsets = engine.offsets_for(bound, provider)
+            jobs.append((graph_slot, [pairs[i] for i in indices], offsets))
+            job_meta.append(
+                (
+                    task_index,
+                    indices,
+                    bound,
+                    _header_bits(namespace, len(offsets)),
+                    len(offsets),
+                )
+            )
+
+    multi = multigraph_walk_for(steppers)
+    accounts, unresolved = multi.run(jobs, start_port=start_port)
+
+    results: List[List[Optional[RouteResult]]] = [
+        [None] * len(pairs) for _engine, pairs, _ns in normalized
+    ]
+    for (job_index, local_index), account in accounts.items():
+        task_index, indices, bound, header_bits, length = job_meta[job_index]
+        _engine, pairs, _ns = normalized[task_index]
+        pair_index = indices[local_index]
+        source, target = pairs[pair_index]
+        results[task_index][pair_index] = RouteResult(
+            outcome=(
+                RouteOutcome.SUCCESS if account.success else RouteOutcome.FAILURE
+            ),
+            delivered=account.success,
+            source=source,
+            target=target,
+            size_bound=bound,
+            sequence_length=length,
+            forward_virtual_steps=account.forward_steps,
+            backward_virtual_steps=account.backward_steps,
+            physical_hops=account.physical_hops,
+            target_found_at_step=account.target_found_at,
+            header_bits=header_bits,
+        )
+    for job_index, local_index in unresolved:
+        task_index, indices = job_meta[job_index][0], job_meta[job_index][1]
+        engine, pairs, namespace_size = normalized[task_index]
+        pair_index = indices[local_index]
+        source, target = pairs[pair_index]
+        results[task_index][pair_index] = engine.route(
+            source,
+            target,
+            provider=provider,
+            size_bound=size_bound,
+            start_port=start_port,
+            namespace_size=namespace_size,
+        )
+    return results
 
 
 # ---------------------------------------------------------------------- #
@@ -1111,14 +1269,28 @@ def prepared_cache_info() -> Dict[str, int]:
     too; :meth:`repro.api.Session.cache_info` merges these numbers with the
     session-scoped scenario-cache counters (the ``repro sweep`` summary line
     prints that merged view).
+
+    The kernel store contributes its full tier picture: memory-LRU
+    hit/miss/eviction counters for engines and schedules, ``kernel_compiles``
+    (every actual ``CompiledWalk`` compilation in this process — zero on a
+    fully warm start), and the disk-tier ``disk_hits`` / ``disk_misses`` /
+    ``disk_saves`` / ``disk_errors`` counters when persistence is enabled.
     """
     from repro.core.batch_kernel import batch_cache_info
 
-    info = dict(_CACHE_COUNTERS)
-    info["engines"] = len(_ENGINE_CACHE)
-    info["schedules"] = len(_SCHEDULE_CACHE)
+    store = kernel_store()
+    info = store.info()
     info["offset_entries"] = sum(
-        len(engine._offsets_cache) for engine in _ENGINE_CACHE.values()
+        len(engine._offsets_cache) for engine in store.engines.values()
+    )
+    info["offset_hits"] = sum(
+        engine._offsets_cache.hits for engine in store.engines.values()
+    )
+    info["offset_misses"] = sum(
+        engine._offsets_cache.misses for engine in store.engines.values()
+    )
+    info["offset_evictions"] = sum(
+        engine._offsets_cache.evictions for engine in store.engines.values()
     )
     info.update(batch_cache_info())
     return info
@@ -1133,14 +1305,16 @@ def clear_prepared_caches() -> None:
     the parent's cached graphs are not kept alive in every worker.  The
     library-wide default sequence provider's cache is dropped for the same
     reason; its sequences are deterministic, so nothing observable changes.
+
+    Clearing also makes the kernel store re-read its environment
+    configuration (``REPRO_KERNEL_CACHE_DIR`` / ``REPRO_KERNEL_CACHE_SIZE``),
+    which is how pool workers adopt a disk tier configured in the parent and
+    warm-start from persisted kernels instead of recompiling.
     """
     from repro.core.batch_kernel import clear_batch_caches
 
-    _ENGINE_CACHE.clear()
-    _SCHEDULE_CACHE.clear()
+    kernel_store().clear()
     clear_batch_caches()
-    for counter in _CACHE_COUNTERS:
-        _CACHE_COUNTERS[counter] = 0
     shared_provider = default_provider()
     clear = getattr(shared_provider, "clear_cache", None)
     if callable(clear):

@@ -1,0 +1,300 @@
+"""The tiered kernel store: LRU bounds, disk persistence, corruption fallback.
+
+The store replaces PR 5's unbounded module-level ``prepare`` /
+``prepare_schedule`` dicts.  Three properties matter and are pinned here:
+
+* **Invisibility** — eviction, persistence, reload and every fallback must
+  leave routing results bitwise identical; the caches are optimisations, not
+  semantics.
+* **Self-healing** — a corrupt or truncated kernel file is detected
+  (``disk_errors``), silently recompiled, and overwritten with a fresh valid
+  copy.
+* **Worker adoption** — clearing the caches re-reads the ``REPRO_KERNEL_*``
+  environment, which is how pool workers inherit the parent's configuration
+  and warm-start from the shared disk tier (``kernel_compiles == 0``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import kernel_store as kernel_store_module
+from repro.core.engine import (
+    clear_prepared_caches,
+    configure_kernel_store,
+    prepare,
+    prepare_schedule,
+    prepared_cache_info,
+)
+from repro.core.kernel_store import (
+    DEFAULT_ENGINE_CAPACITY,
+    ENV_KERNEL_CACHE_DIR,
+    ENV_KERNEL_CACHE_SIZE,
+    LRUCache,
+    kernel_file,
+    kernel_store,
+)
+from repro.core.walk_kernel import CompiledWalk, rotation_hash
+from repro.graphs import generators
+from repro.network.dynamics import TopologySchedule
+
+
+@pytest.fixture
+def clean_store():
+    """A cold store with no inherited environment; everything restored after."""
+    saved = {
+        name: os.environ.pop(name, None)
+        for name in (ENV_KERNEL_CACHE_DIR, ENV_KERNEL_CACHE_SIZE)
+    }
+    clear_prepared_caches()
+    yield kernel_store()
+    for name, value in saved.items():
+        os.environ.pop(name, None)
+        if value is not None:
+            os.environ[name] = value
+    clear_prepared_caches()
+
+
+def _route(graph, provider, count=6):
+    engine = prepare(graph)
+    vertices = list(graph.vertices)
+    pairs = [
+        (vertices[i % len(vertices)], vertices[(i * 5 + 3) % len(vertices)])
+        for i in range(count)
+    ]
+    return engine.route_many(pairs, provider=provider)
+
+
+# --------------------------------------------------------------------------- #
+# LRUCache unit behaviour
+# --------------------------------------------------------------------------- #
+
+
+def test_lru_counts_hits_misses_and_evicts_in_order():
+    cache = LRUCache(2)
+    assert cache.get("a") is None and cache.misses == 1
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1 and cache.hits == 1
+    cache.put("c", 3)  # evicts "b": "a" was refreshed by the hit
+    assert "b" not in cache and "a" in cache and "c" in cache
+    assert cache.evictions == 1 and len(cache) == 2
+
+
+def test_lru_peek_and_touch_keep_counters_truthful():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.peek("a") == 1
+    assert cache.hits == 0 and cache.misses == 0  # peek is uncounted
+    cache.touch("a")
+    assert cache.hits == 1
+    cache.record_miss()
+    assert cache.misses == 1
+    cache.put("c", 3)  # "b" is now the LRU tail
+    assert "b" not in cache
+
+
+def test_lru_resize_evicts_and_pop_clear_reset():
+    cache = LRUCache(3)
+    for key in "abc":
+        cache.put(key, key)
+    cache.resize(1)
+    assert len(cache) == 1 and cache.evictions == 2
+    assert cache.pop("c") == "c" and cache.pop("c", "gone") == "gone"
+    cache.clear()
+    assert len(cache) == 0 and cache.hits == cache.misses == cache.evictions == 0
+    with pytest.raises(ValueError):
+        LRUCache(0)
+    with pytest.raises(ValueError):
+        cache.resize(0)
+
+
+# --------------------------------------------------------------------------- #
+# Bounded prepare caches: eviction is invisible
+# --------------------------------------------------------------------------- #
+
+
+def test_engine_eviction_recompiles_bitwise_identical(clean_store, provider):
+    configure_kernel_store(capacity=2)
+    graph = generators.grid_graph(4, 4)
+    before = _route(graph, provider)
+    # Two more graphs push the first engine out of the bounded LRU.
+    prepare(generators.cycle_graph(7))
+    prepare(generators.cycle_graph(8))
+    assert prepared_cache_info()["engine_evictions"] >= 1
+    assert _route(graph, provider) == before
+
+
+def test_schedule_eviction_reprepares_bitwise_identical(clean_store, provider):
+    store = clean_store
+    store.schedules.resize(1)
+    first = TopologySchedule(
+        snapshots=(generators.cycle_graph(6), generators.cycle_graph(6)),
+        switch_times=(0, 4),
+    )
+    second = TopologySchedule.static(generators.grid_graph(3, 3))
+    pairs = [(0, 3), (1, 5), (2, 2)]
+    before = prepare_schedule(first).route_many(pairs, provider=provider)
+    prepare_schedule(second)  # evicts the first schedule engine
+    assert store.schedules.evictions >= 1
+    assert prepare_schedule(first).route_many(pairs, provider=provider) == before
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        configure_kernel_store(capacity=0)
+
+
+# --------------------------------------------------------------------------- #
+# Disk tier: persist -> clear -> reload -> identical
+# --------------------------------------------------------------------------- #
+
+
+needs_numpy = pytest.mark.skipif(
+    not kernel_store_module.HAVE_NUMPY,
+    reason="the disk tier needs NumPy",
+)
+
+
+@needs_numpy
+def test_round_trip_reloads_without_recompiling(clean_store, tmp_path, provider):
+    cache_dir = str(tmp_path / "kernels")
+    configure_kernel_store(cache_dir=cache_dir)
+    clear_prepared_caches()
+
+    graph = generators.grid_graph(4, 4)
+    before = _route(graph, provider)
+    info = prepared_cache_info()
+    assert info["kernel_disk_enabled"] == 1
+    assert info["kernel_compiles"] == 1
+    assert info["disk_saves"] == 1
+    path = kernel_file(cache_dir, graph)
+    assert os.path.exists(path)
+
+    # Cold process, same content: an *equal* graph built from scratch maps to
+    # the same content-addressed file and loads instead of compiling.
+    clear_prepared_caches()
+    rebuilt = generators.grid_graph(4, 4)
+    assert rotation_hash(rebuilt) == rotation_hash(graph)
+    after = _route(rebuilt, provider)
+    info = prepared_cache_info()
+    assert info["kernel_compiles"] == 0
+    assert info["disk_hits"] == 1
+    assert after == before
+
+
+@needs_numpy
+def test_disk_loaded_kernel_recomputes_reduction_lazily(clean_store, tmp_path):
+    configure_kernel_store(cache_dir=str(tmp_path))
+    clear_prepared_caches()
+    graph = generators.grid_graph(3, 3)
+    prepare(graph)
+    clear_prepared_caches()
+    engine = prepare(generators.grid_graph(3, 3))
+    assert engine.kernel.reduction is None  # loaded from disk, not compiled
+    reduction = engine.reduction  # lazy recompute for reduction-needing callers
+    assert reduction is not None
+    assert engine.kernel.num_vertices == CompiledWalk(reduction).num_vertices
+
+
+@needs_numpy
+@pytest.mark.parametrize("corruption", ["garbage", "truncated", "bad-magic"])
+def test_corrupt_kernel_file_recompiles_and_self_heals(
+    clean_store, tmp_path, provider, corruption
+):
+    import numpy as np
+
+    cache_dir = str(tmp_path)
+    configure_kernel_store(cache_dir=cache_dir)
+    clear_prepared_caches()
+    graph = generators.grid_graph(4, 4)
+    before = _route(graph, provider)
+    path = kernel_file(cache_dir, graph)
+
+    if corruption == "garbage":
+        with open(path, "wb") as handle:
+            handle.write(b"not a numpy file at all")
+    elif corruption == "truncated":
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+    else:
+        with open(path, "wb") as handle:
+            np.save(handle, np.arange(5, dtype=np.int64))
+
+    clear_prepared_caches()
+    after = _route(generators.grid_graph(4, 4), provider)
+    info = prepared_cache_info()
+    assert info["disk_errors"] >= 1
+    assert info["kernel_compiles"] == 1  # fell back to tier 3
+    assert after == before
+    # Self-healed: the recompiled kernel was written back and now loads clean.
+    clear_prepared_caches()
+    _route(generators.grid_graph(4, 4), provider)
+    info = prepared_cache_info()
+    assert info["kernel_compiles"] == 0 and info["disk_hits"] == 1
+
+
+@needs_numpy
+def test_kernel_arrays_round_trip_exactly():
+    graph = generators.petersen_graph()
+    kernel = prepare(graph).kernel
+    clone = CompiledWalk.from_arrays(kernel.to_arrays())
+    assert clone.to_arrays() == kernel.to_arrays()
+    assert clone.clusters == kernel.clusters
+    assert clone.num_vertices == kernel.num_vertices
+    assert clone.reduction is None
+
+
+# --------------------------------------------------------------------------- #
+# Configuration: environment adoption and the disabled path
+# --------------------------------------------------------------------------- #
+
+
+def test_clear_adopts_environment_like_a_pool_worker(clean_store, tmp_path):
+    # The sweep runner's worker initialiser only calls clear_prepared_caches;
+    # the exported environment is all a worker gets.
+    os.environ[ENV_KERNEL_CACHE_DIR] = str(tmp_path)
+    os.environ[ENV_KERNEL_CACHE_SIZE] = "5"
+    clear_prepared_caches()
+    store = kernel_store()
+    assert store.cache_dir == str(tmp_path)
+    assert store.engines.capacity == 5
+
+
+def test_configure_empty_dir_disables_the_disk_tier(clean_store, tmp_path):
+    configure_kernel_store(cache_dir=str(tmp_path))
+    assert kernel_store().cache_dir == str(tmp_path)
+    assert os.environ[ENV_KERNEL_CACHE_DIR] == str(tmp_path)
+    configure_kernel_store(cache_dir="")
+    assert kernel_store().cache_dir is None
+    assert ENV_KERNEL_CACHE_DIR not in os.environ
+    assert not kernel_store().disk_enabled
+
+
+def test_defaults_without_environment(clean_store):
+    store = kernel_store()
+    assert store.cache_dir is None
+    assert not store.disk_enabled
+    assert store.engines.capacity == DEFAULT_ENGINE_CAPACITY
+
+
+def test_disk_tier_inert_without_numpy(clean_store, tmp_path, provider, monkeypatch):
+    # KernelStore-disabled fallback: with NumPy "absent" the configured dir
+    # must never be touched and every kernel compiles in-process as before.
+    monkeypatch.setattr(kernel_store_module, "HAVE_NUMPY", False)
+    configure_kernel_store(cache_dir=str(tmp_path))
+    store = kernel_store()
+    assert not store.disk_enabled
+    graph = generators.grid_graph(3, 3)
+    results = _route(graph, provider)
+    assert os.listdir(str(tmp_path)) == []
+    info = prepared_cache_info()
+    assert info["kernel_disk_enabled"] == 0
+    assert info["kernel_compiles"] >= 1
+    # Routing itself is unaffected by the missing tier.
+    assert results == _route(graph, provider)
