@@ -53,6 +53,7 @@ import json
 import os
 from collections import Counter, OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -717,14 +718,40 @@ def parallel_map(
     data).  With ``workers <= 1`` or fewer than two items this degenerates to
     a plain in-process loop, which is also the executable reference for what
     the pool must produce.
+
+    A worker killed mid-task (OOM killer, SIGKILL) breaks the whole pool:
+    every pending future raises :class:`BrokenProcessPool`, which used to lose
+    the entire batch.  The map recovers by re-running exactly the items whose
+    futures produced no result serially in the parent — ``fn`` is
+    deterministic per item, so the recovered results are order- and
+    bit-identical to an undisturbed run.  Exceptions raised by ``fn`` itself
+    are not retried; they propagate as before.
     """
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(items)), initializer=_worker_init
-    ) as pool:
-        return list(pool.map(fn, items))
+    completed: Dict[int, _R] = {}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(items)), initializer=_worker_init
+        ) as pool:
+            futures = {}
+            try:
+                for index, item in enumerate(items):
+                    futures[index] = pool.submit(fn, item)
+            except BrokenProcessPool:
+                pass  # pool died during submission; unsubmitted items retry below
+            for index, future in futures.items():
+                try:
+                    completed[index] = future.result()
+                except BrokenProcessPool:
+                    continue  # lost with the crashed worker; retry below
+    except BrokenProcessPool:
+        pass  # broke while shutting the pool down; survivors are in `completed`
+    return [
+        completed[index] if index in completed else fn(item)
+        for index, item in enumerate(items)
+    ]
 
 
 def _scenario_rows_task(task: Tuple[Callable[..., Iterable[Sequence[object]]], ScenarioSpec]):

@@ -19,6 +19,7 @@ subsequent task.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -81,6 +82,13 @@ class ScenarioStore:
     tolerance as the sweep runner's per-process cache).  Bounded so a
     long-lived session over many scenarios does not pin them all.  ``hits`` /
     ``misses`` feed :meth:`repro.api.session.Session.cache_info`.
+
+    Thread-safe: the server (:mod:`repro.server`) dispatches one shared
+    session from a thread pool, so the cache's compound mutations are guarded
+    by a lock.  Scenario *builds* run outside the lock (they dominate the
+    cost); two threads racing on the same cold spec may both build it — the
+    builds are deterministic, so either result is correct and one wins the
+    cache slot.
     """
 
     _LIMIT = 32
@@ -88,24 +96,30 @@ class ScenarioStore:
     def __init__(self) -> None:
         self._networks: "OrderedDict[ScenarioSpec, object]" = OrderedDict()
         self._schedules: "OrderedDict[ScenarioSpec, object]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def _get(self, cache: OrderedDict, spec: ScenarioSpec, build):
-        try:
-            cached = cache.get(spec)
-        except TypeError:  # unhashable extra values: build fresh, skip caching
+        with self._lock:
+            try:
+                cached = cache.get(spec)
+            except TypeError:  # unhashable extra values: build fresh, skip caching
+                cached = None
+                spec_hashable = False
+            else:
+                spec_hashable = True
+            if cached is not None:
+                self.hits += 1
+                cache.move_to_end(spec)
+                return cached
             self.misses += 1
-            return build(spec)
-        if cached is not None:
-            self.hits += 1
-            cache.move_to_end(spec)
-            return cached
-        self.misses += 1
         built = build(spec)
-        cache[spec] = built
-        while len(cache) > self._LIMIT:
-            cache.popitem(last=False)
+        if spec_hashable:
+            with self._lock:
+                cache[spec] = built
+                while len(cache) > self._LIMIT:
+                    cache.popitem(last=False)
         return built
 
     def network(self, spec: ScenarioSpec):

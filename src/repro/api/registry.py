@@ -41,7 +41,15 @@ from repro.api.requests import (
     TaskRequest,
 )
 
-__all__ = ["TaskSpec", "TASKS", "task_by_name", "scenario_from_args"]
+__all__ = [
+    "TaskSpec",
+    "TASKS",
+    "CommandSpec",
+    "COMMANDS",
+    "task_by_name",
+    "command_by_name",
+    "scenario_from_args",
+]
 
 #: Topology families every network-generating subcommand understands — the
 #: canonical list lives next to :func:`repro.analysis.experiments.build_scenario`.
@@ -64,6 +72,23 @@ class TaskSpec:
     configure: Callable[[argparse.ArgumentParser], None]
     build: Callable[[argparse.Namespace], TaskRequest]
     backend: Callable[[argparse.Namespace], Optional[str]] = lambda args: None
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """One registered *non-task* subcommand (long-running process commands).
+
+    Unlike a :class:`TaskSpec`, a command does not build a request and submit
+    it through a session — it owns its whole run (``repro serve`` blocks on
+    the daemon's event loop until SIGTERM).  Keeping these in the registry
+    preserves the one-source-of-truth property: the CLI still generates every
+    subcommand, task or not, from here.
+    """
+
+    name: str
+    help: str
+    configure: Callable[[argparse.ArgumentParser], None]
+    run: Callable[[argparse.Namespace], int]
 
 
 def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
@@ -382,6 +407,38 @@ TASKS: Tuple[TaskSpec, ...] = (
 )
 
 
+def _configure_serve(parser: argparse.ArgumentParser) -> None:
+    # Deferred import: the server package is only needed when serving.
+    from repro.server.config import add_server_arguments
+
+    add_server_arguments(parser)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.server.app import serve
+    from repro.server.config import config_from_args
+
+    return serve(config_from_args(args))
+
+
+#: Every registered non-task subcommand.
+COMMANDS: Tuple[CommandSpec, ...] = (
+    CommandSpec(
+        name="serve",
+        help="run the routing daemon: the task API over HTTP/JSON",
+        configure=_configure_serve,
+        run=_run_serve,
+    ),
+)
+
+assert not {spec.name for spec in COMMANDS} & {spec.name for spec in TASKS}
+
+
 def task_by_name() -> Dict[str, TaskSpec]:
     """The registry as a name-keyed mapping."""
     return {spec.name: spec for spec in TASKS}
+
+
+def command_by_name() -> Dict[str, CommandSpec]:
+    """The non-task commands as a name-keyed mapping."""
+    return {spec.name: spec for spec in COMMANDS}

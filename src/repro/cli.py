@@ -46,6 +46,13 @@ and nothing else.  The functions below only *render* the uniform
     line reports the backend that ran the task plus the session/process
     cache statistics.
 
+``python -m repro serve --port 8421 --concurrency 4``
+    Run the routing daemon: every task above served over HTTP/JSON from one
+    shared session (``POST /v1/task``, streaming ``POST /v1/tasks``,
+    ``GET /metrics``, ``GET /healthz``), with bounded-queue backpressure and
+    graceful SIGTERM drain.  ``serve`` is a :class:`~repro.api.registry.CommandSpec`
+    — a long-running process command, not a task — see ``docs/server.md``.
+
 All network-generating commands accept ``--seed`` for reproducibility and
 ``--dimension 3`` for unit-ball (3D) deployments.  Exit status is 0 on
 success, 2 on bad arguments.  Every subcommand is documented with
@@ -61,7 +68,7 @@ from typing import Callable, Dict, Optional, Sequence, TextIO
 
 from repro.analysis.reporting import format_table
 from repro.api.envelope import TaskResult
-from repro.api.registry import TASKS, task_by_name
+from repro.api.registry import COMMANDS, TASKS, command_by_name, task_by_name
 from repro.api.session import Session
 from repro.errors import ReproError
 
@@ -77,6 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     for spec in TASKS:
         spec.configure(subparsers.add_parser(spec.name, help=spec.help))
+    for command in COMMANDS:
+        command.configure(subparsers.add_parser(command.name, help=command.help))
     return parser
 
 
@@ -312,6 +321,15 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    command = command_by_name().get(args.command)
+    if command is not None:
+        # Non-task commands (`repro serve`) own their whole run; nothing to
+        # submit or render here.
+        try:
+            return command.run(args)
+        except ReproError as error:
+            print(f"error: {error}", file=out)
+            return 2
     spec = task_by_name()[args.command]
     session = Session()
     try:

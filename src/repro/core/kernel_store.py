@@ -19,7 +19,10 @@ holding three tiers, consulted in order:
    up by reading arrays instead of re-deriving the Fig. 1 reduction.
    Corrupt or truncated files are detected (magic number, shape and range
    validation in ``CompiledWalk.from_arrays``) and silently fall back to
-   tier 3, counted in ``disk_errors``.
+   tier 3, counted in ``disk_errors``.  Writes are atomic (temp file +
+   ``os.replace``); temp files orphaned by a crashed writer are swept
+   whenever the tier opens (:func:`sweep_stale_tmp_files`, counted in
+   ``disk_tmp_swept``).
 3. **Compile** — :func:`repro.graphs.degree_reduction.reduce_to_three_regular`
    followed by :class:`~repro.core.walk_kernel.CompiledWalk`, exactly as
    before; the result is written back to the disk tier when one is
@@ -45,6 +48,8 @@ identical on every tier — ``tests/test_kernel_store.py`` asserts it.
 from __future__ import annotations
 
 import os
+import threading
+import time
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Iterator, List, Optional
 
@@ -69,6 +74,7 @@ __all__ = [
     "configure_kernel_store",
     "kernel_file",
     "kernel_store",
+    "sweep_stale_tmp_files",
 ]
 
 #: Environment variables carrying the store configuration into pool workers.
@@ -83,6 +89,66 @@ DEFAULT_SCHEDULE_CAPACITY = 16
 #: file that does not open with it is rejected before any array is trusted.
 _KERNEL_MAGIC = 0x5250_4B31
 
+#: Suffix marker of the disk tier's in-progress writes (``<hash>.npy.tmp.<pid>``).
+_TMP_MARKER = ".tmp."
+
+#: A temp file from a *live* pid is still swept once it is this old — pids
+#: recycle, and no atomic write takes an hour.
+STALE_TMP_SECONDS = 3600.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` currently names a process (conservative on doubt)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # PermissionError etc.: it exists, just not ours
+        return True
+    return True
+
+
+def sweep_stale_tmp_files(cache_dir: str, max_age_seconds: float = STALE_TMP_SECONDS) -> int:
+    """Remove orphaned ``*.tmp.<pid>`` files under ``cache_dir``; return the count.
+
+    :meth:`KernelStore._save_kernel` writes ``<hash>.npy.tmp.<pid>`` and then
+    ``os.replace``\\ s it into place — a crash (SIGKILL, power loss) between
+    the two leaks the temp file forever.  Every time the disk tier opens it
+    sweeps temp files whose writer is dead, or which are older than
+    ``max_age_seconds`` even if a (recycled) pid looks alive.  Files of the
+    *current* process and fresh files of live pids are never touched, so
+    concurrent writers in a pool are safe.
+    """
+    try:
+        entries = os.listdir(cache_dir)
+    except OSError:
+        return 0
+    removed = 0
+    now = time.time()
+    for entry in entries:
+        head, marker, suffix = entry.rpartition(_TMP_MARKER)
+        if not marker or not head or not suffix.isdigit():
+            continue
+        pid = int(suffix)
+        if pid == os.getpid():
+            continue
+        path = os.path.join(cache_dir, entry)
+        stale = not _pid_alive(pid)
+        if not stale:
+            try:
+                stale = now - os.path.getmtime(path) > max_age_seconds
+            except OSError:
+                continue  # raced with the writer's own os.replace/unlink
+        if stale:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+    return removed
+
 
 class LRUCache:
     """Bounded mapping with least-recently-used eviction and counters.
@@ -92,9 +158,16 @@ class LRUCache:
     and refreshes recency; callers that must validate an entry before
     accepting it (the engine cache re-checks graph identity) use
     ``peek``/``touch``/``record_miss`` to keep the counters truthful.
+
+    Every method is individually thread-safe (the server's dispatch pool
+    drives ``prepare()`` from several threads): a per-instance lock guards
+    the ``OrderedDict``'s compound mutations so concurrent access can never
+    corrupt the structure.  Compound *caller* sequences (peek → validate →
+    put) may still interleave; the worst outcome is a duplicate build of a
+    deterministic value, never a wrong one.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries", "_lock")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -104,6 +177,7 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -113,16 +187,24 @@ class LRUCache:
 
     def values(self) -> Iterator[Any]:
         """Iterate current values, least recently used first."""
-        return iter(list(self._entries.values()))
+        with self._lock:
+            return iter(list(self._entries.values()))
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Look up without touching recency or counters."""
         return self._entries.get(key, default)
 
     def touch(self, key: Hashable) -> None:
-        """Record a hit on ``key`` and mark it most recently used."""
-        self._entries.move_to_end(key)
-        self.hits += 1
+        """Record a hit on ``key`` and mark it most recently used.
+
+        Tolerates a key concurrently evicted between the caller's ``peek``
+        and this call: the hit is still counted (the caller did get a valid
+        value) and recency is simply not refreshed.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self.hits += 1
 
     def record_miss(self) -> None:
         """Count a miss decided outside ``get`` (e.g. failed validation)."""
@@ -130,45 +212,51 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Counted lookup: hit refreshes recency, miss returns ``default``."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self.touch(key)
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/replace ``key`` and evict the LRU tail past capacity."""
-        entries = self._entries
-        if key in entries:
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries[key] = value
+                entries.move_to_end(key)
+                return
             entries[key] = value
-            entries.move_to_end(key)
-            return
-        entries[key] = value
-        while len(entries) > self.capacity:
-            entries.popitem(last=False)
-            self.evictions += 1
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
+                self.evictions += 1
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
         """Remove ``key`` if present (no counter changes)."""
-        return self._entries.pop(key, default)
+        with self._lock:
+            return self._entries.pop(key, default)
 
     def resize(self, capacity: int) -> None:
         """Change the bound, evicting the tail if the cache is now over it."""
         if capacity < 1:
             raise ValueError("LRU capacity must be positive")
-        self.capacity = int(capacity)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self.capacity = int(capacity)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
 
 def _env_capacity() -> int:
@@ -253,12 +341,20 @@ class KernelStore:
         self.schedules = LRUCache(
             schedule_capacity if schedule_capacity is not None else DEFAULT_SCHEDULE_CAPACITY
         )
-        self.cache_dir = cache_dir if cache_dir is not None else _env_cache_dir()
         self.kernel_compiles = 0
         self.disk_hits = 0
         self.disk_misses = 0
         self.disk_saves = 0
         self.disk_errors = 0
+        self.disk_tmp_swept = 0
+        self.cache_dir: Optional[str] = None
+        self._open_disk_tier(cache_dir if cache_dir is not None else _env_cache_dir())
+
+    def _open_disk_tier(self, cache_dir: Optional[str]) -> None:
+        """Adopt ``cache_dir`` and sweep temp files orphaned by dead writers."""
+        self.cache_dir = cache_dir
+        if cache_dir is not None:
+            self.disk_tmp_swept += sweep_stale_tmp_files(cache_dir)
 
     # ------------------------------------------------------------------ #
     # Disk tier
@@ -350,6 +446,7 @@ class KernelStore:
             "disk_misses": self.disk_misses,
             "disk_saves": self.disk_saves,
             "disk_errors": self.disk_errors,
+            "disk_tmp_swept": self.disk_tmp_swept,
         }
 
     def clear(self) -> None:
@@ -364,12 +461,13 @@ class KernelStore:
         self.engines.clear()
         self.schedules.clear()
         self.engines.resize(_env_capacity())
-        self.cache_dir = _env_cache_dir()
         self.kernel_compiles = 0
         self.disk_hits = 0
         self.disk_misses = 0
         self.disk_saves = 0
         self.disk_errors = 0
+        self.disk_tmp_swept = 0
+        self._open_disk_tier(_env_cache_dir())
 
 
 #: The process-wide store instance every ``prepare`` call consults.
@@ -405,7 +503,7 @@ def configure_kernel_store(
         if text:
             os.makedirs(text, exist_ok=True)
             os.environ[ENV_KERNEL_CACHE_DIR] = text
-            store.cache_dir = text
+            store._open_disk_tier(text)
         else:
             os.environ.pop(ENV_KERNEL_CACHE_DIR, None)
             store.cache_dir = None

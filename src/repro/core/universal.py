@@ -34,7 +34,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import UniversalityCertificationError
+from repro.errors import GraphStructureError, UniversalityCertificationError
 from repro.core.exploration import ExplicitSequence, ExplorationSequence, covers_component
 from repro.graphs.connectivity import is_connected
 from repro.graphs.labeled_graph import LabeledGraph
@@ -239,7 +239,11 @@ def standard_certification_family(
         if size >= 4 and size <= n and size > 3:
             try:
                 add(generators.random_regular_graph(size, 3, seed=rng.randrange(2 ** 30)))
-            except Exception:  # n*d odd or too small; skip silently
+            except (GraphStructureError, ValueError, ImportError):
+                # Infeasible parameters (n*d odd, degree >= n) or networkx
+                # unavailable: skip this family member.  Anything else — a
+                # typo, API drift in the generator — must propagate; a bare
+                # except here once hid real failures as "skipped graphs".
                 continue
 
     # Degree reductions of non-regular topologies (these are what routing

@@ -1,0 +1,35 @@
+"""``python -m repro.server`` — run the routing daemon standalone.
+
+Identical semantics to ``repro serve`` (the flags are declared once in
+:func:`repro.server.config.add_server_arguments`); this entry point exists so
+the daemon can be launched without the CLI package, e.g. from a process
+supervisor or the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.server.app import serve
+from repro.server.config import add_server_arguments, config_from_args
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve the unified task API over HTTP/JSON (routing-as-a-service)",
+    )
+    add_server_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return serve(config_from_args(args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""A minimal asyncio HTTP client for the routing daemon.
+
+Stdlib-only, like the daemon itself.  One connection per exchange (no
+pooling) keeps the failure model trivial for tests and for the load harness
+in ``benchmarks/bench_server.py``, which opens hundreds of these
+concurrently.  The client understands exactly what the daemon emits:
+fixed-length JSON responses and chunked NDJSON streams.
+
+:class:`TaskClient` is the typed convenience layer — it serializes request
+objects through :mod:`repro.api.envelope`'s tagged wire format and
+deserializes responses back into :class:`~repro.api.envelope.TaskResult`, so
+a parity test can compare a served result against ``Session.submit`` with
+``==`` on real envelopes, not on JSON blobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.envelope import TaskResult, from_wire, to_wire
+from repro.errors import TaskError
+
+__all__ = ["HttpReply", "TaskClient", "ServerError", "http_request"]
+
+
+class ServerError(TaskError):
+    """The daemon answered with a structured error envelope."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"server error {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.server_message = message
+
+
+@dataclass
+class HttpReply:
+    """One decoded HTTP response: status, lowered headers, full body."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        return json.loads(self.body.decode("utf-8"))
+
+    def ndjson(self) -> List[object]:
+        """The body as parsed NDJSON lines, in arrival order."""
+        return [
+            json.loads(line)
+            for line in self.body.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+
+
+async def _read_reply(reader: "asyncio.StreamReader") -> HttpReply:
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection before responding")
+    parts = status_line.decode("latin-1").split(None, 2)
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        chunks = []
+        while True:
+            size_line = await reader.readline()
+            size = int(size_line.strip().split(b";")[0], 16)
+            if size == 0:
+                await reader.readline()  # trailing CRLF after the last chunk
+                break
+            chunks.append(await reader.readexactly(size))
+            await reader.readexactly(2)  # chunk-terminating CRLF
+        body = b"".join(chunks)
+    else:
+        body = await reader.readexactly(int(headers.get("content-length", "0")))
+    return HttpReply(status=status, headers=headers, body=body)
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+    headers: Optional[Dict[str, str]] = None,
+) -> HttpReply:
+    """One HTTP exchange on a fresh connection; returns the decoded reply."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        lines = [f"{method} {path} HTTP/1.1", f"Host: {host}:{port}", "Connection: close"]
+        payload = body if body is not None else b""
+        if method in ("POST", "PUT"):
+            lines.append(f"Content-Length: {len(payload)}")
+            lines.append("Content-Type: application/json")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload)
+        await writer.drain()
+        return await _read_reply(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TaskClient:
+    """Typed access to a running daemon: request objects in, envelopes out."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> HttpReply:
+        return await http_request(self.host, self.port, method, path, body=body)
+
+    @staticmethod
+    def _raise_for_error(reply: HttpReply) -> None:
+        if reply.status >= 400:
+            try:
+                error = reply.json()["error"]
+                raise ServerError(reply.status, error["code"], error["message"])
+            except (ValueError, KeyError, TypeError):
+                raise ServerError(reply.status, "opaque", reply.body.decode("utf-8", "replace"))
+
+    async def submit(self, request, backend: Optional[str] = None) -> TaskResult:
+        """``POST /v1/task``: one request object -> one TaskResult envelope."""
+        path = "/v1/task" + (f"?backend={backend}" if backend else "")
+        body = json.dumps(to_wire(request)).encode("utf-8")
+        reply = await self._request("POST", path, body=body)
+        self._raise_for_error(reply)
+        return from_wire(reply.json())
+
+    async def submit_many(
+        self, requests: Sequence[object], backend: Optional[str] = None
+    ) -> List[TaskResult]:
+        """``POST /v1/tasks``: a batch in, results back *in request order*.
+
+        The daemon streams lines in completion order; this helper reassembles
+        them by index so callers see the order they submitted.  A per-task
+        error line raises :class:`ServerError` (batch admission failures
+        surface the same way via the 429 envelope).
+        """
+        body = json.dumps([to_wire(request) for request in requests]).encode("utf-8")
+        path = "/v1/tasks" + (f"?backend={backend}" if backend else "")
+        reply = await self._request("POST", path, body=body)
+        self._raise_for_error(reply)
+        lines = reply.ndjson()
+        ordered: List[Optional[TaskResult]] = [None] * len(requests)
+        for line in lines:
+            if "error" in line:
+                error = line["error"]
+                raise ServerError(error["status"], error["code"], error["message"])
+            ordered[line["index"]] = from_wire(line["result"])
+        missing = [index for index, value in enumerate(ordered) if value is None]
+        if missing:
+            raise TaskError(f"server stream omitted batch indices {missing}")
+        return ordered  # type: ignore[return-value]
+
+    async def metrics(self) -> Dict[str, object]:
+        reply = await self._request("GET", "/metrics")
+        self._raise_for_error(reply)
+        return reply.json()
+
+    async def healthz(self) -> Dict[str, object]:
+        reply = await self._request("GET", "/healthz")
+        self._raise_for_error(reply)
+        return reply.json()

@@ -265,3 +265,40 @@ def test_default_backend_routing(session):
         session.backend_for(SweepRequest(scenarios=(GRID,))) == "process-pool"
     )
     assert session.backend_for(ConformanceRequest()) == "process-pool"
+
+
+# --------------------------------------------------------------------------- #
+# Degenerate batches through the pooled chunking path
+# --------------------------------------------------------------------------- #
+
+
+def test_pooled_batch_with_explicit_empty_pairs_is_valid_and_empty():
+    # pairs=() is a legal request (explicit pairs override num_pairs); the
+    # chunker must degenerate to zero chunks, not divide by zero or hang.
+    request = RouteBatchRequest(scenario=GRID, pairs=())
+    session = Session()
+    inline = session.submit(request, backend="inline")
+    pooled = session.submit(request, backend="process-pool")
+    assert inline.payload["results"] == [] == pooled.payload["results"]
+    assert inline.payload == pooled.payload
+    assert pooled.payload["delivered"] == 0
+
+
+@pytest.mark.parametrize("num_pairs", [1, 2, 3])
+def test_pooled_batch_with_fewer_pairs_than_workers_matches_inline(num_pairs):
+    # Worker count must clamp to len(pairs): with the default pool width
+    # larger than the batch, every chunk still holds >= 1 pair and the
+    # reassembled order is the inline order.
+    from repro.api.backends import ProcessPoolBackend
+
+    session = Session(
+        backends={
+            "inline": Session().backends["inline"],
+            "process-pool": ProcessPoolBackend(workers=4),
+        }
+    )
+    request = RouteBatchRequest(scenario=GRID, num_pairs=num_pairs, pair_seed=5)
+    inline = session.submit(request, backend="inline")
+    pooled = session.submit(request, backend="process-pool")
+    assert len(inline.payload["results"]) == num_pairs
+    assert inline.payload == pooled.payload

@@ -298,3 +298,68 @@ def test_disk_tier_inert_without_numpy(clean_store, tmp_path, provider, monkeypa
     assert info["kernel_compiles"] >= 1
     # Routing itself is unaffected by the missing tier.
     assert results == _route(graph, provider)
+
+
+# --------------------------------------------------------------------------- #
+# Stale temp-file sweep: crash debris is collected when the disk tier opens
+# --------------------------------------------------------------------------- #
+
+
+def test_sweep_removes_dead_pid_and_ancient_tmp_files(clean_store, tmp_path):
+    import subprocess
+    import sys
+    import time as time_module
+
+    from repro.core.kernel_store import STALE_TMP_SECONDS, sweep_stale_tmp_files
+
+    child = subprocess.Popen([sys.executable, "-c", "pass"])
+    child.wait()
+    dead_pid = child.pid
+
+    dead = tmp_path / f"abc123.npy.tmp.{dead_pid}"
+    dead.write_bytes(b"orphan")
+    mine = tmp_path / f"def456.npy.tmp.{os.getpid()}"
+    mine.write_bytes(b"in-progress")
+    ancient = tmp_path / "fff999.npy.tmp.1"  # pid 1 is alive but not the writer
+    ancient.write_bytes(b"ancient")
+    old = time_module.time() - STALE_TMP_SECONDS - 60
+    os.utime(ancient, (old, old))
+    real_kernel = tmp_path / "0123abcd.npy"
+    real_kernel.write_bytes(b"not a tmp file")
+    unparseable = tmp_path / "aaa.npy.tmp.notapid"
+    unparseable.write_bytes(b"weird name")
+
+    removed = sweep_stale_tmp_files(str(tmp_path))
+    assert removed == 2
+    assert not dead.exists()  # dead writer: swept
+    assert not ancient.exists()  # live pid but older than the threshold: swept
+    assert mine.exists()  # current process' own write must never be touched
+    assert real_kernel.exists()  # completed kernels are not tmp files
+    assert unparseable.exists()  # defensive: unrecognised names are left alone
+
+
+def test_opening_the_disk_tier_sweeps_and_counts(clean_store, tmp_path):
+    import subprocess
+    import sys
+
+    child = subprocess.Popen([sys.executable, "-c", "pass"])
+    child.wait()
+    orphan = tmp_path / f"feed00.npy.tmp.{child.pid}"
+    orphan.write_bytes(b"orphan")
+
+    configure_kernel_store(cache_dir=str(tmp_path))
+    store = kernel_store()
+    assert not orphan.exists()
+    assert store.disk_tmp_swept == 1
+    assert store.info()["disk_tmp_swept"] == 1
+
+
+def test_fresh_live_pid_tmp_files_survive_the_sweep(clean_store, tmp_path):
+    from repro.core.kernel_store import sweep_stale_tmp_files
+
+    # A freshly written temp file whose writer (pid 1, always alive) might
+    # still be mid-write: the sweep must leave it for the age threshold.
+    fresh = tmp_path / "bead22.npy.tmp.1"
+    fresh.write_bytes(b"mid-write")
+    assert sweep_stale_tmp_files(str(tmp_path)) == 0
+    assert fresh.exists()

@@ -372,3 +372,49 @@ def test_clear_prepared_caches_does_not_change_results():
     clear_prepared_caches()
     after = prepare(graph).route(0, 15)
     assert before == after
+
+
+# --------------------------------------------------------------------------- #
+# Crash resilience: a SIGKILLed worker must not lose results
+# --------------------------------------------------------------------------- #
+
+
+def _square_or_die(item):
+    """Kill the *worker* for value 3; compute normally everywhere else.
+
+    The parent pid rides inside the item so the serial retry (which runs in
+    the parent after the pool breaks) takes the compute path — only a pool
+    worker ever dies.  Module-level for picklability.
+    """
+    import os
+    import signal
+
+    value, parent_pid = item
+    if value == 3 and os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * value
+
+
+def test_parallel_map_recovers_from_sigkilled_worker():
+    import os
+
+    parent = os.getpid()
+    items = [(value, parent) for value in range(8)]
+    expected = [value * value for value in range(8)]
+    # The worker handling value 3 is SIGKILLed, which breaks the whole pool
+    # (BrokenProcessPool); the lost items must be re-run serially, in order,
+    # with bit-identical results.
+    assert parallel_map(_square_or_die, items, workers=2) == expected
+
+
+def _always_raises(item):
+    raise ExperimentError(f"bad shard {item}")
+
+
+def test_parallel_map_still_propagates_real_task_exceptions():
+    # Crash recovery is for *dead workers* only: an exception raised by the
+    # task function itself is a genuine failure and must surface unchanged.
+    with pytest.raises(ExperimentError, match="bad shard"):
+        parallel_map(_always_raises, [1, 2, 3], workers=2)
+    with pytest.raises(ExperimentError, match="bad shard"):
+        parallel_map(_always_raises, [1, 2, 3], workers=1)

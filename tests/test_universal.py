@@ -134,3 +134,26 @@ def test_certified_sequence_is_universal_for_all_tiny_graphs(provider):
     graphs = exhaustive_cubic_graphs(2) + exhaustive_cubic_graphs(3)
     report = certify_covers(sequence, graphs, all_starts=True, all_ports=True)
     assert report.passed
+
+
+# --------------------------------------------------------------------------- #
+# Exception discipline in the certification family builder
+# --------------------------------------------------------------------------- #
+
+
+def test_standard_family_skips_infeasible_random_regular_sizes():
+    # Sizes where a connected random 3-regular graph is impossible must be
+    # skipped quietly, not abort the family.
+    family = standard_certification_family(6, seed=1)
+    assert family  # the feasible members are all present
+
+
+def test_standard_family_propagates_unexpected_generator_failures(monkeypatch):
+    # The old bare `except Exception: continue` swallowed *everything*; a
+    # genuine defect in the generator must surface, not shrink the family.
+    def broken(size, degree, seed=0):
+        raise RuntimeError("generator defect")
+
+    monkeypatch.setattr(generators, "random_regular_graph", broken)
+    with pytest.raises(RuntimeError, match="generator defect"):
+        standard_certification_family(8, seed=0)
