@@ -1,0 +1,208 @@
+"""E-BYZANTINE: reliable-broadcast delivery latency and cost vs. fault count.
+
+Bracha's SEND/ECHO/READY broadcast (:mod:`repro.core.reliable_broadcast`)
+keeps its guarantees for every ``f <= f_tolerated = floor((N - 1) / 3)``, but
+not for free: every adversarial node removed from the honest quorums pushes
+honest delivery later (fewer early READYs) while the wire still carries the
+full all-to-all phases.  This benchmark sweeps ``f`` from 0 to
+``f_tolerated`` on one grid topology, running every scripted behaviour at
+each level over a shared :class:`~repro.core.reliable_broadcast.UESTransport`
+(so channel pricing is amortised exactly as in the conformance harness), and
+reports per level:
+
+* honest delivery latency (mean over runs of the *last* honest delivery);
+* messages put on the wire;
+* invariant violations — ``rb-agreement`` / ``rb-totality`` /
+  ``rb-no-false-delivery`` breaches, which must stay **zero** below the
+  threshold (the committed baseline requires it, so this benchmark doubles
+  as a conformance smoke).
+
+Run standalone (CI smoke mode) with::
+
+    PYTHONPATH=src BYZANTINE_BENCH_SMOKE=1 python benchmarks/bench_byzantine.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, List
+
+from bench_utils import emit_bench_json, emit_table
+from repro.core.reliable_broadcast import (
+    QuorumThresholds,
+    UESTransport,
+    broadcast_reliably,
+)
+from repro.core.universal import RandomSequenceProvider
+from repro.graphs import generators
+from repro.network.byzantine import BYZANTINE_BEHAVIORS, ByzantinePlan
+
+#: Smoke mode: small instance, fewer repetitions (set ``BYZANTINE_BENCH_SMOKE=1``).
+SMOKE = os.environ.get("BYZANTINE_BENCH_SMOKE", "") not in ("", "0")
+
+#: Full mode: a 5x5 grid tolerates f = 8; smoke keeps 3x3 (f = 2).
+GRID_SIDE = 3 if SMOKE else 5
+RUNS_PER_CELL = 2 if SMOKE else 5
+
+#: Dedicated provider seed so the sweep is self-contained and reproducible.
+PROVIDER_SEED = 4242
+
+
+def _honest_latency(result) -> int:
+    """Time of the last honest delivery (0 when nobody delivered)."""
+    honest = set(result.honest)
+    times = [t for node, t in result.delivery_times if node in honest]
+    return max(times) if times else 0
+
+
+def run_byzantine_benchmark() -> dict:
+    """Sweep f = 0..f_tolerated x behaviours; collect latency/cost/violations."""
+    graph = generators.grid_graph(GRID_SIDE, GRID_SIDE)
+    thresholds = QuorumThresholds.for_size(graph.num_vertices)
+    transport = UESTransport(
+        graph, provider=RandomSequenceProvider(seed=PROVIDER_SEED)
+    )
+
+    levels: List[Dict[str, object]] = []
+    violations = 0
+    total_runs = 0
+    started = time.perf_counter()
+    for f in range(thresholds.f_tolerated + 1):
+        behaviors = BYZANTINE_BEHAVIORS if f else ("honest",)
+        latencies: List[int] = []
+        messages: List[int] = []
+        for behavior in behaviors:
+            for index in range(RUNS_PER_CELL):
+                plan = (
+                    ByzantinePlan.random_plan(
+                        graph, f, seed=97 * f + index, behaviors=(behavior,)
+                    )
+                    if f
+                    else None
+                )
+                source = index % graph.num_vertices
+                result = broadcast_reliably(
+                    graph, source, value="m", plan=plan, transport=transport
+                )
+                total_runs += 1
+                latencies.append(_honest_latency(result))
+                messages.append(result.messages_sent)
+                for holds in (
+                    result.agreement,
+                    result.totality,
+                    result.no_false_delivery,
+                ):
+                    if not holds:
+                        violations += 1
+        levels.append(
+            {
+                "f": f,
+                "runs": len(latencies),
+                "mean_latency": sum(latencies) / len(latencies),
+                "max_latency": max(latencies),
+                "mean_messages": sum(messages) / len(messages),
+            }
+        )
+    elapsed = time.perf_counter() - started
+    return {
+        "graph_side": GRID_SIDE,
+        "n": graph.num_vertices,
+        "f_tolerated": thresholds.f_tolerated,
+        "levels": levels,
+        "violations": violations,
+        "total_runs": total_runs,
+        "elapsed": elapsed,
+    }
+
+
+def _emit(report: dict) -> None:
+    rows = [
+        [
+            level["f"],
+            level["runs"],
+            f"{level['mean_latency']:.1f}",
+            level["max_latency"],
+            f"{level['mean_messages']:.0f}",
+        ]
+        for level in report["levels"]
+    ]
+    emit_table(
+        "E_byzantine_latency_vs_f",
+        f"E-BYZANTINE — Bracha broadcast on a {report['graph_side']}x"
+        f"{report['graph_side']} grid (N={report['n']}, "
+        f"f_tolerated={report['f_tolerated']}; "
+        f"{'smoke' if SMOKE else 'full'} mode)",
+        ["f", "runs", "mean latency", "max latency", "mean messages"],
+        rows,
+        notes=(
+            "Latency is the arrival time of the last honest delivery on the "
+            "UES-priced channels; every run below the threshold must keep "
+            "rb-agreement, rb-totality and rb-no-false-delivery (violations "
+            "are counted and gated to zero by the committed baseline)."
+        ),
+    )
+    emit_bench_json(
+        "byzantine",
+        {
+            "mode": "smoke" if SMOKE else "full",
+            "config": {
+                "grid_side": report["graph_side"],
+                "n": report["n"],
+                "f_tolerated": report["f_tolerated"],
+                "runs_per_cell": RUNS_PER_CELL,
+                "provider_seed": PROVIDER_SEED,
+            },
+            "violations": report["violations"],
+            "total_runs": report["total_runs"],
+            "elapsed_seconds": report["elapsed"],
+            "latency_by_f": {
+                str(level["f"]): level["mean_latency"]
+                for level in report["levels"]
+            },
+            "messages_by_f": {
+                str(level["f"]): level["mean_messages"]
+                for level in report["levels"]
+            },
+        },
+    )
+
+
+def test_byzantine_latency_sweep(benchmark):
+    report = run_byzantine_benchmark()
+    _emit(report)
+    assert report["violations"] == 0
+    assert len(report["levels"]) == report["f_tolerated"] + 1
+    graph = generators.grid_graph(GRID_SIDE, GRID_SIDE)
+    transport = UESTransport(
+        graph, provider=RandomSequenceProvider(seed=PROVIDER_SEED)
+    )
+    plan = ByzantinePlan.random_plan(graph, report["f_tolerated"], seed=1)
+    benchmark.pedantic(
+        lambda: broadcast_reliably(graph, 0, plan=plan, transport=transport),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def main() -> int:
+    """Standalone entry point (no pytest needed; used by the CI smoke step)."""
+    report = run_byzantine_benchmark()
+    _emit(report)
+    if report["violations"]:
+        print(
+            f"FAIL: {report['violations']} invariant violations below the "
+            "f < N/3 threshold",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: {report['total_runs']} runs over f=0..{report['f_tolerated']}, "
+        "no invariant violations"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,8 +70,16 @@ from repro.core import (
     route_on_network,
 )
 from repro.core.broadcast import broadcast_on_network
+from repro.core.reliable_broadcast import (
+    QuorumThresholds,
+    ReliableBroadcastResult,
+    broadcast_reliably,
+)
 from repro.network import (
     AdHocNetwork,
+    ByzantinePlan,
+    FailurePlan,
+    FaultModel,
     DynamicOutcome,
     Message,
     Protocol,
@@ -92,6 +100,7 @@ from repro.baselines import (
     random_walk_route,
 )
 from repro.api import (
+    BroadcastReliableRequest,
     BroadcastRequest,
     CompareRequest,
     ConformanceRequest,
@@ -153,6 +162,13 @@ __all__ = [
     "count_nodes",
     "HybridResult",
     "hybrid_route",
+    # reliable broadcast under Byzantine faults
+    "QuorumThresholds",
+    "ReliableBroadcastResult",
+    "broadcast_reliably",
+    "ByzantinePlan",
+    "FailurePlan",
+    "FaultModel",
     # network
     "AdHocNetwork",
     "DynamicOutcome",
@@ -179,6 +195,7 @@ __all__ = [
     "RouteBatchRequest",
     "ScheduleRouteRequest",
     "BroadcastRequest",
+    "BroadcastReliableRequest",
     "CountRequest",
     "ConnectivityRequest",
     "CompareRequest",

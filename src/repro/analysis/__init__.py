@@ -45,6 +45,8 @@ from repro.analysis.conformance import (
     ConformanceViolation,
     conformance_pass,
     default_conformance_matrix,
+    is_malicious_scenario,
+    malicious_broadcast_scenarios,
     run_conformance,
 )
 
@@ -79,5 +81,7 @@ __all__ = [
     "ConformanceViolation",
     "conformance_pass",
     "default_conformance_matrix",
+    "is_malicious_scenario",
+    "malicious_broadcast_scenarios",
     "run_conformance",
 ]

@@ -30,7 +30,20 @@ in one table-driven pass:
 * the lockstep batched walk kernel (:mod:`repro.core.batch_kernel`) matches
   the scalar walks element for element when the same pairs are routed as one
   batch through ``route_many(lockstep=True)``, on static networks and on
-  schedules alike (the ``batch-parity`` invariant).
+  schedules alike (the ``batch-parity`` invariant);
+* the Bracha reliable-broadcast layer (:mod:`repro.core.reliable_broadcast`)
+  keeps its correctness conditions on the *malicious-node scenario axis*
+  (:func:`malicious_broadcast_scenarios`): for every generated configuration
+  with ``f < N/3`` Byzantine nodes — each behaviour in
+  :data:`~repro.network.byzantine.BYZANTINE_BEHAVIORS` alone, a mixed pool,
+  and a crash-composed variant — honest nodes never deliver two different
+  values (``rb-agreement``), deliver all-or-none (``rb-totality``), and only
+  deliver values the source actually emitted (``rb-no-false-delivery``);
+  additionally an honest source always reaches everyone (``rb-validity``),
+  equivocation evidence only ever accuses genuinely Byzantine nodes
+  (``rb-evidence-attributable``), and resolving the Byzantine plan and the
+  crash plan in either order yields identical runs
+  (``rb-fault-composition``).
 
 The harness is what the roadmap's "validate round-based models against their
 synchronous idealisation" advice looks like in code: one place where every
@@ -64,18 +77,27 @@ from repro.analysis.reporting import format_table
 from repro.baselines import applicable_routers
 from repro.deprecation import warn_once
 from repro.core.engine import prepare, prepare_schedule
+from repro.core.reliable_broadcast import (
+    QuorumThresholds,
+    UESTransport,
+    broadcast_reliably,
+)
 from repro.core.routing import RouteOutcome, route, route_on_network
 from repro.core.universal import SequenceProvider
-from repro.graphs.connectivity import are_connected
+from repro.graphs.connectivity import are_connected, is_connected
+from repro.network.byzantine import BYZANTINE_BEHAVIORS, ByzantinePlan, FaultModel
 from repro.network.dynamics import (
     DynamicOutcome,
     reference_route_over_schedule,
 )
+from repro.network.failures import FailurePlan
 
 __all__ = [
     "ConformanceViolation",
     "ConformanceReport",
     "default_conformance_matrix",
+    "is_malicious_scenario",
+    "malicious_broadcast_scenarios",
     "conformance_pass",
     "run_conformance",
 ]
@@ -166,6 +188,86 @@ def default_conformance_matrix() -> List[ScenarioSpec]:
             extra=(("mutation", "static"), ("snapshots", 1), ("switch_every", 4)),
         )
     )
+    scenarios.extend(malicious_broadcast_scenarios())
+    return scenarios
+
+
+#: ``extra`` key that marks a spec as a malicious-broadcast scenario (its
+#: value is the number of Byzantine nodes to corrupt).
+_MALICIOUS_KEY = "byzantine"
+
+
+def is_malicious_scenario(spec: ScenarioSpec) -> bool:
+    """True when the spec describes a malicious-broadcast scenario.
+
+    Such specs carry a ``("byzantine", f)`` entry in ``extra`` (plus
+    ``behavior`` and optionally ``crashes``); the conformance harness checks
+    them against the reliable-broadcast invariants instead of the routing
+    ones.  A malicious spec is still a perfectly ordinary *static* spec to
+    every other consumer of the matrix (sweeps, parity suites): the extra
+    keys only change which invariants this harness applies.
+    """
+    return any(key == _MALICIOUS_KEY for key, _ in spec.extra)
+
+
+def malicious_broadcast_scenarios(
+    families: Sequence[Tuple[str, int]] = (("grid", 9), ("ring", 7)),
+    behaviors: Sequence[str] = BYZANTINE_BEHAVIORS,
+) -> List[ScenarioSpec]:
+    """The malicious-node scenario axis of the conformance matrix.
+
+    For every ``(family, size)`` and **every** Byzantine count ``f`` with
+    ``f < N/3`` (``0 <= f <= f_tolerated``), one scenario per single
+    behaviour plus one drawing from the mixed behaviour pool; on top, one
+    composition scenario per family that combines a Byzantine plan with a
+    crash-model :class:`~repro.network.failures.FailurePlan`, so the
+    order-independence of :meth:`~repro.network.byzantine.FaultModel.resolve`
+    is exercised inside the matrix and not only by unit tests.
+    """
+    scenarios: List[ScenarioSpec] = []
+    for family, size in families:
+        realised = build_scenario(
+            ScenarioSpec(name="probe", family=family, size=size, seed=0)
+        ).graph.num_vertices
+        f_tolerated = QuorumThresholds.for_size(realised).f_tolerated
+        for f in range(f_tolerated + 1):
+            if f == 0:
+                scenarios.append(
+                    ScenarioSpec(
+                        name=f"rb-{family}-n{size}-f0",
+                        family=family,
+                        size=size,
+                        seed=0,
+                        extra=((_MALICIOUS_KEY, 0),),
+                    )
+                )
+                continue
+            for behavior in tuple(behaviors) + ("mixed",):
+                scenarios.append(
+                    ScenarioSpec(
+                        name=f"rb-{family}-n{size}-f{f}-{behavior}",
+                        family=family,
+                        size=size,
+                        seed=0,
+                        extra=((_MALICIOUS_KEY, f), ("behavior", behavior)),
+                    )
+                )
+        if f_tolerated >= 2:
+            # One Byzantine node plus one crashed node: both fault plans on
+            # the same scenario, total faults still below the threshold.
+            scenarios.append(
+                ScenarioSpec(
+                    name=f"rb-{family}-n{size}-compose",
+                    family=family,
+                    size=size,
+                    seed=0,
+                    extra=(
+                        (_MALICIOUS_KEY, 1),
+                        ("behavior", "equivocate"),
+                        ("crashes", 1),
+                    ),
+                )
+            )
     return scenarios
 
 
@@ -185,7 +287,9 @@ def _scenario_fragment(
     """Check one scenario; return its report fragment (runs in any process)."""
     spec, pairs_per_scenario, seed, provider = task
     fragment = ConformanceReport(headers=list(_REPORT_HEADERS))
-    if is_dynamic_scenario(spec):
+    if is_malicious_scenario(spec):
+        _check_malicious_scenario(spec, pairs_per_scenario, seed, provider, fragment)
+    elif is_dynamic_scenario(spec):
         _check_dynamic_scenario(spec, pairs_per_scenario, seed, provider, fragment)
     else:
         _check_static_scenario(spec, pairs_per_scenario, seed, provider, fragment)
@@ -425,6 +529,133 @@ def _check_static_scenario(
         report.rows.append(
             [spec.name, router_name, tally.pairs, tally.delivered, tally.detected, tally.violations]
         )
+
+
+# --------------------------------------------------------------------------- #
+# Malicious-broadcast scenarios (the Byzantine axis)
+# --------------------------------------------------------------------------- #
+
+
+def _check_malicious_scenario(
+    spec: ScenarioSpec,
+    pairs_per_scenario: int,
+    seed: int,
+    provider: Optional[SequenceProvider],
+    report: ConformanceReport,
+) -> None:
+    """Reliable broadcast under the spec's injected faults, all invariants.
+
+    ``pairs_per_scenario`` runs are executed per scenario, each with a
+    distinct deterministic ``(source, fault placement)`` drawn from ``seed``.
+    The rb-* guarantees are asserted whenever the *total* fault count
+    (Byzantine plus crashed — a crash is a special case of a Byzantine node)
+    stays within ``f_tolerated``, which is how every generated scenario of
+    :func:`malicious_broadcast_scenarios` is constructed.
+    """
+    network = build_scenario(spec)
+    graph = network.graph
+    params = dict(spec.extra)
+    count = int(params.get(_MALICIOUS_KEY, 0))
+    behavior = str(params.get("behavior", "mixed"))
+    crash_count = int(params.get("crashes", 0))
+    pool = BYZANTINE_BEHAVIORS if behavior == "mixed" else (behavior,)
+    thresholds = QuorumThresholds.for_size(graph.num_vertices)
+    # The honest-channel assumption Bracha's proof rides on: the UES walk
+    # must be able to deliver between every pair of live nodes.
+    assert is_connected(graph), (
+        f"malicious scenario {spec.name} needs a connected graph"
+    )
+    transport = UESTransport(
+        graph, provider=provider, namespace_size=network.namespace_size
+    )
+    vertices = sorted(graph.vertices)
+    rng = random.Random(seed)
+    tally = _Tally()
+
+    def check(s: int, invariant: str, ok: bool, detail: str = "") -> None:
+        report.checks += 1
+        if not ok:
+            report.violations.append(
+                ConformanceViolation(spec.name, "rb-bracha", s, -1, invariant, detail)
+            )
+            tally.violations += 1
+
+    for index in range(pairs_per_scenario):
+        fault_seed = seed * 1009 + index
+        source = rng.choice(vertices)
+        plan = (
+            ByzantinePlan.random_plan(graph, count, seed=fault_seed, behaviors=pool)
+            if count
+            else None
+        )
+        failures = None
+        if crash_count:
+            corrupted = set(plan.nodes()) if plan is not None else set()
+            crashed = [v for v in reversed(vertices) if v not in corrupted]
+            failures = FailurePlan(failed_nodes=set(crashed[:crash_count]))
+        result = broadcast_reliably(
+            graph, source, value="m", plan=plan, failures=failures,
+            transport=transport,
+        )
+        tally.pairs += 1
+        tally.delivered += int(result.all_honest_delivered)
+        tally.detected += int(bool(result.evidence))
+
+        total_faults = len(result.byzantine) + len(result.crashed)
+        guaranteed = total_faults <= thresholds.f_tolerated
+        if guaranteed:
+            check(
+                source, "rb-agreement", result.agreement,
+                f"honest deliveries diverged: {result.honest_delivered}",
+            )
+            check(
+                source, "rb-totality", result.totality,
+                f"{len(result.honest_delivered)}/{len(result.honest)} honest delivered",
+            )
+            check(
+                source, "rb-no-false-delivery", result.no_false_delivery,
+                f"delivered outside origin-sent {result.origin_sent_values}: "
+                f"{result.honest_delivered}",
+            )
+            source_honest = (
+                result.source in result.honest
+                or dict(result.byzantine).get(result.source) == "delay"
+            )
+            if source_honest:
+                check(
+                    source, "rb-validity",
+                    result.all_honest_delivered
+                    and all(v == "m" for _n, v in result.honest_delivered),
+                    f"honest source, deliveries {result.honest_delivered}",
+                )
+        check(
+            source, "rb-evidence-attributable",
+            all(
+                item.accused in dict(result.byzantine) for item in result.evidence
+            ),
+            f"evidence accuses a non-Byzantine node: {result.evidence}",
+        )
+        if failures is not None or plan is not None:
+            # Satellite contract: applying the crash plan and the Byzantine
+            # plan in either order must produce the identical run.
+            swapped_faults = FaultModel()
+            if failures is not None:
+                swapped_faults = swapped_faults.with_crashes(failures)
+            if plan is not None:
+                swapped_faults = swapped_faults.with_byzantine(plan)
+            swapped = broadcast_reliably(
+                graph, source, value="m", faults=swapped_faults,
+                transport=transport,
+            )
+            check(
+                source, "rb-fault-composition",
+                swapped == result,
+                "crash-then-Byzantine differs from Byzantine-then-crash",
+            )
+
+    report.rows.append(
+        [spec.name, "rb-bracha", tally.pairs, tally.delivered, tally.detected, tally.violations]
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -32,6 +32,7 @@ from repro.api.executors import ScenarioStore
 from repro.api.registry import TASKS, TaskSpec, task_by_name
 from repro.api.requests import (
     REQUEST_TYPES,
+    BroadcastReliableRequest,
     BroadcastRequest,
     CompareRequest,
     ConformanceRequest,
@@ -62,6 +63,7 @@ __all__ = [
     "RouteBatchRequest",
     "ScheduleRouteRequest",
     "BroadcastRequest",
+    "BroadcastReliableRequest",
     "CountRequest",
     "ConnectivityRequest",
     "CompareRequest",

@@ -47,6 +47,7 @@ from repro.api.executors import (
     TaskComputation,
     assemble_route_batch,
     execute_broadcast,
+    execute_broadcast_reliable,
     execute_compare,
     execute_conformance,
     execute_connectivity,
@@ -58,6 +59,7 @@ from repro.api.executors import (
     route_result_payload,
 )
 from repro.api.requests import (
+    BroadcastReliableRequest,
     BroadcastRequest,
     CompareRequest,
     ConformanceRequest,
@@ -135,6 +137,7 @@ class InlineBackend(Backend):
             RouteBatchRequest: execute_route_batch,
             ScheduleRouteRequest: execute_schedule_route,
             BroadcastRequest: execute_broadcast,
+            BroadcastReliableRequest: execute_broadcast_reliable,
             CountRequest: execute_count,
             ConnectivityRequest: execute_connectivity,
             CompareRequest: execute_compare,

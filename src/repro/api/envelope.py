@@ -34,6 +34,7 @@ from typing import Dict, Optional
 from repro.analysis.experiments import ScenarioSpec
 from repro.api.requests import (
     REQUEST_TYPES,
+    BroadcastReliableRequest,
     BroadcastRequest,
     CompareRequest,
     ConformanceRequest,
@@ -196,6 +197,44 @@ def _decode_source_task_as(cls, fields: Dict[str, object]):
     return cls(scenario=_spec_from_wire(fields["scenario"]), source=int(fields["source"]))
 
 
+def _encode_broadcast_reliable(request: BroadcastReliableRequest) -> Dict[str, object]:
+    return {
+        "scenario": _spec_to_wire(request.scenario),
+        "source": request.source,
+        "value": request.value,
+        "byzantine": [[node, behavior] for node, behavior in request.byzantine],
+        "num_byzantine": request.num_byzantine,
+        "behaviors": list(request.behaviors),
+        "fault_seed": request.fault_seed,
+        "crashes": list(request.crashes),
+        "delay": request.delay,
+    }
+
+
+def _decode_broadcast_reliable(fields: Dict[str, object]) -> BroadcastReliableRequest:
+    kwargs: Dict[str, object] = {
+        "scenario": _spec_from_wire(fields["scenario"]),
+        "source": int(fields["source"]),
+    }
+    if "value" in fields:
+        kwargs["value"] = str(fields["value"])
+    if "byzantine" in fields:
+        kwargs["byzantine"] = tuple(
+            (int(node), str(behavior)) for node, behavior in fields["byzantine"]
+        )
+    if "num_byzantine" in fields:
+        kwargs["num_byzantine"] = int(fields["num_byzantine"])
+    if "behaviors" in fields:
+        kwargs["behaviors"] = tuple(str(b) for b in fields["behaviors"])
+    if "fault_seed" in fields:
+        kwargs["fault_seed"] = int(fields["fault_seed"])
+    if "crashes" in fields:
+        kwargs["crashes"] = tuple(int(node) for node in fields["crashes"])
+    if "delay" in fields:
+        kwargs["delay"] = int(fields["delay"])
+    return BroadcastReliableRequest(**kwargs)
+
+
 def _encode_connectivity(request: ConnectivityRequest) -> Dict[str, object]:
     return {
         "scenario": _spec_to_wire(request.scenario),
@@ -327,6 +366,11 @@ WIRE_KINDS = {
         BroadcastRequest,
         _encode_source_task,
         lambda fields: _decode_source_task_as(BroadcastRequest, fields),
+    ),
+    "BroadcastReliableRequest": (
+        BroadcastReliableRequest,
+        _encode_broadcast_reliable,
+        _decode_broadcast_reliable,
     ),
     "CountRequest": (
         CountRequest,

@@ -51,10 +51,12 @@ __all__ = [
     "TaskComputation",
     "route_result_payload",
     "dynamic_result_payload",
+    "reliable_broadcast_payload",
     "execute_route",
     "execute_route_batch",
     "execute_schedule_route",
     "execute_broadcast",
+    "execute_broadcast_reliable",
     "execute_count",
     "execute_connectivity",
     "execute_compare",
@@ -293,6 +295,84 @@ def execute_broadcast(request, store: ScenarioStore) -> TaskComputation:
         physical_steps=result.physical_hops,
         virtual_steps=result.virtual_steps,
         seed=request.scenario.seed,
+    )
+
+
+def reliable_broadcast_payload(result) -> Dict[str, object]:
+    """One reliable-broadcast run as a JSON-safe mapping (the wire shape)."""
+    return {
+        "source": result.source,
+        "value": result.value,
+        "n": result.n,
+        "f_tolerated": result.thresholds.f_tolerated,
+        "echo_quorum": result.thresholds.echo_quorum,
+        "ready_support": result.thresholds.ready_support,
+        "delivery_quorum": result.thresholds.delivery_quorum,
+        "byzantine": [[node, behavior] for node, behavior in result.byzantine],
+        "crashed": list(result.crashed),
+        "honest": list(result.honest),
+        "delivered": [[node, value] for node, value in result.delivered],
+        "delivery_times": [[node, time] for node, time in result.delivery_times],
+        "origin_sent_values": list(result.origin_sent_values),
+        "agreement": result.agreement,
+        "totality": result.totality,
+        "no_false_delivery": result.no_false_delivery,
+        "messages_sent": result.messages_sent,
+        "final_time": result.final_time,
+        "header_bits": result.header_bits,
+        "evidence": [
+            {
+                "accused": item.accused,
+                "witness": item.witness,
+                "kind": item.kind,
+                "detail": item.detail,
+            }
+            for item in result.evidence
+        ],
+    }
+
+
+def execute_broadcast_reliable(request, store: ScenarioStore) -> TaskComputation:
+    """Body of the ``broadcast-reliable`` task (Bracha over the UES stack)."""
+    from repro.core.reliable_broadcast import broadcast_reliably
+    from repro.network.byzantine import ByzantinePlan
+    from repro.network.failures import FailurePlan
+
+    network = store.network(request.scenario)
+    graph = network.graph
+    if request.byzantine:
+        plan = ByzantinePlan(
+            behaviors={node: behavior for node, behavior in request.byzantine},
+            delay=request.delay,
+            seed=request.fault_seed,
+        )
+    elif request.num_byzantine:
+        plan = ByzantinePlan.random_plan(
+            graph,
+            request.num_byzantine,
+            seed=request.fault_seed,
+            behaviors=request.behaviors,
+            delay=request.delay,
+        )
+    else:
+        plan = None
+    failures = (
+        FailurePlan(failed_nodes=set(request.crashes)) if request.crashes else None
+    )
+    result = broadcast_reliably(
+        graph,
+        request.source,
+        value=request.value,
+        plan=plan,
+        failures=failures,
+        namespace_size=network.namespace_size,
+    )
+    return TaskComputation(
+        status="agreed" if (result.agreement and result.totality) else "diverged",
+        payload=reliable_broadcast_payload(result),
+        physical_steps=result.messages_sent,
+        virtual_steps=result.final_time,
+        seed=request.fault_seed,
     )
 
 

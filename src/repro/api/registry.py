@@ -29,6 +29,7 @@ from repro.analysis.experiments import (
 )
 from repro.errors import TaskError
 from repro.api.requests import (
+    BroadcastReliableRequest,
     BroadcastRequest,
     CompareRequest,
     ConformanceRequest,
@@ -150,6 +151,47 @@ def _build_broadcast(args: argparse.Namespace) -> BroadcastRequest:
 
 def _build_count(args: argparse.Namespace) -> CountRequest:
     return CountRequest(scenario=scenario_from_args(args), source=args.source)
+
+
+def _configure_broadcast_reliable(parser: argparse.ArgumentParser) -> None:
+    # Imported here to keep the canonical behaviour list in one place without
+    # widening the registry's module-level import surface.
+    from repro.network.byzantine import BYZANTINE_BEHAVIORS
+
+    _add_network_arguments(parser)
+    parser.add_argument("--source", type=int, default=0)
+    parser.add_argument("--value", default="m", help="the value to broadcast")
+    parser.add_argument(
+        "--num-byzantine", type=int, default=0, help="nodes to corrupt at random"
+    )
+    parser.add_argument(
+        "--behavior",
+        default="equivocate",
+        choices=list(BYZANTINE_BEHAVIORS),
+        help="behaviour pool for the randomly corrupted nodes",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="seed picking the corrupted nodes"
+    )
+    parser.add_argument(
+        "--crash", nargs="*", type=int, default=[], help="nodes to crash (crash model)"
+    )
+    parser.add_argument(
+        "--delay", type=int, default=3, help="extra latency of 'delay' adversaries"
+    )
+
+
+def _build_broadcast_reliable(args: argparse.Namespace) -> BroadcastReliableRequest:
+    return BroadcastReliableRequest(
+        scenario=scenario_from_args(args),
+        source=args.source,
+        value=args.value,
+        num_byzantine=args.num_byzantine,
+        behaviors=(args.behavior,),
+        fault_seed=args.fault_seed,
+        crashes=tuple(args.crash),
+        delay=args.delay,
+    )
 
 
 def _configure_connectivity(parser: argparse.ArgumentParser) -> None:
@@ -354,6 +396,13 @@ TASKS: Tuple[TaskSpec, ...] = (
         help="broadcast from a source node",
         configure=_configure_source_task,
         build=_build_broadcast,
+    ),
+    TaskSpec(
+        name="broadcast-reliable",
+        request_type=BroadcastReliableRequest,
+        help="Bracha reliable broadcast under injected Byzantine faults",
+        configure=_configure_broadcast_reliable,
+        build=_build_broadcast_reliable,
     ),
     TaskSpec(
         name="count",

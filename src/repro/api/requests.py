@@ -22,6 +22,7 @@ from typing import ClassVar, Optional, Tuple, Union
 
 from repro.analysis.experiments import ScenarioSpec, is_dynamic_scenario
 from repro.errors import TaskError
+from repro.network.byzantine import BYZANTINE_BEHAVIORS
 
 __all__ = [
     "TaskRequest",
@@ -31,6 +32,7 @@ __all__ = [
     "RouteBatchRequest",
     "ScheduleRouteRequest",
     "BroadcastRequest",
+    "BroadcastReliableRequest",
     "CountRequest",
     "ConnectivityRequest",
     "CompareRequest",
@@ -148,6 +150,54 @@ class BroadcastRequest(WireCodable):
 
 
 @dataclass(frozen=True)
+class BroadcastReliableRequest(WireCodable):
+    """Bracha reliable broadcast from a source under injected Byzantine faults.
+
+    ``byzantine`` fixes explicit ``(node, behaviour)`` corruptions; when it is
+    empty, ``num_byzantine`` nodes are corrupted deterministically from
+    ``fault_seed`` with behaviours drawn from ``behaviors`` (the same policy
+    as :meth:`repro.network.byzantine.ByzantinePlan.random_plan`).
+    ``crashes`` adds crash-model failures, composed order-independently with
+    the Byzantine plan; ``delay`` is the extra latency of ``delay`` nodes.
+    """
+
+    task: ClassVar[str] = "broadcast-reliable"
+
+    scenario: ScenarioSpec
+    source: int
+    value: str = "m"
+    byzantine: Tuple[Tuple[int, str], ...] = ()
+    num_byzantine: int = 0
+    behaviors: Tuple[str, ...] = ("equivocate",)
+    fault_seed: int = 0
+    crashes: Tuple[int, ...] = ()
+    delay: int = 3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "byzantine",
+            tuple((int(node), str(behavior)) for node, behavior in self.byzantine),
+        )
+        object.__setattr__(self, "behaviors", tuple(str(b) for b in self.behaviors))
+        object.__setattr__(self, "crashes", tuple(int(node) for node in self.crashes))
+        if not isinstance(self.value, str) or not self.value:
+            raise TaskError("a reliable broadcast needs a non-empty string value")
+        if self.num_byzantine < 0:
+            raise TaskError("num_byzantine must be >= 0")
+        if self.delay < 0:
+            raise TaskError("delay must be >= 0")
+        for behavior in self.behaviors + tuple(b for _n, b in self.byzantine):
+            if behavior not in BYZANTINE_BEHAVIORS:
+                raise TaskError(
+                    f"unknown Byzantine behaviour {behavior!r}; "
+                    f"choose from {BYZANTINE_BEHAVIORS}"
+                )
+        if not self.byzantine and self.num_byzantine > 0 and not self.behaviors:
+            raise TaskError("random corruption needs a non-empty behaviour pool")
+
+
+@dataclass(frozen=True)
 class CountRequest(WireCodable):
     """Run Algorithm ``CountNodes`` from a source."""
 
@@ -237,6 +287,7 @@ REQUEST_TYPES: Tuple[type, ...] = (
     RouteBatchRequest,
     ScheduleRouteRequest,
     BroadcastRequest,
+    BroadcastReliableRequest,
     CountRequest,
     ConnectivityRequest,
     CompareRequest,
@@ -249,6 +300,7 @@ TaskRequest = Union[
     RouteBatchRequest,
     ScheduleRouteRequest,
     BroadcastRequest,
+    BroadcastReliableRequest,
     CountRequest,
     ConnectivityRequest,
     CompareRequest,

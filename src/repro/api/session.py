@@ -33,6 +33,7 @@ from repro.api.backends import (
 from repro.api.envelope import TaskResult
 from repro.api.executors import ScenarioStore
 from repro.api.requests import (
+    BroadcastReliableRequest,
     BroadcastRequest,
     CompareRequest,
     ConformanceRequest,
@@ -58,6 +59,7 @@ DEFAULT_BACKENDS: Dict[type, str] = {
     RouteBatchRequest: "inline",
     ScheduleRouteRequest: "schedule",
     BroadcastRequest: "inline",
+    BroadcastReliableRequest: "inline",
     CountRequest: "inline",
     ConnectivityRequest: "inline",
     CompareRequest: "inline",

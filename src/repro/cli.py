@@ -129,6 +129,49 @@ def _render_broadcast(result: TaskResult, args, session: Session, out: TextIO) -
     return 0
 
 
+def _render_broadcast_reliable(
+    result: TaskResult, args, session: Session, out: TextIO
+) -> int:
+    payload = result.payload
+    rows = [
+        ["nodes (n)", payload["n"]],
+        ["tolerated faults (f)", payload["f_tolerated"]],
+        ["byzantine nodes", len(payload["byzantine"])],
+        ["crashed nodes", len(payload["crashed"])],
+        ["echo quorum", payload["echo_quorum"]],
+        ["delivery quorum", payload["delivery_quorum"]],
+        ["honest delivered", f"{len(payload['delivered'])}/{len(payload['honest'])}"],
+        ["agreement", payload["agreement"]],
+        ["totality", payload["totality"]],
+        ["no false delivery", payload["no_false_delivery"]],
+        ["messages sent", payload["messages_sent"]],
+        ["final time", payload["final_time"]],
+        ["header overhead (bits)", payload["header_bits"]],
+        ["equivocation evidence", len(payload["evidence"])],
+    ]
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"reliable broadcast from {args.source} ({result.status})",
+        ),
+        file=out,
+    )
+    if payload["delivered"]:
+        print(
+            format_table(
+                ["node", "delivered value", "time"],
+                [
+                    [node, value, dict(payload["delivery_times"]).get(node, "-")]
+                    for node, value in payload["delivered"]
+                ],
+                title="per-node deliveries",
+            ),
+            file=out,
+        )
+    return 0
+
+
 def _render_count(result: TaskResult, args, session: Session, out: TextIO) -> int:
     payload = result.payload
     rows = [
@@ -299,6 +342,7 @@ def _render_sweep(result: TaskResult, args, session: Session, out: TextIO) -> in
 _RENDERERS: Dict[str, Callable[[TaskResult, argparse.Namespace, Session, TextIO], int]] = {
     "route": _render_route,
     "broadcast": _render_broadcast,
+    "broadcast-reliable": _render_broadcast_reliable,
     "count": _render_count,
     "connectivity": _render_connectivity,
     "compare": _render_compare,

@@ -14,6 +14,8 @@ The subpackage is organised to mirror the paper:
   walk kernel and the prepared per-graph engine (cached reduction, size
   tables, ``route_many`` batch API) every entry point routes through;
 * :mod:`repro.core.broadcast` — broadcasting along the exploration walk;
+* :mod:`repro.core.reliable_broadcast` — Bracha's reliable broadcast layered
+  on UES point-to-point routing, tolerating f < n/3 Byzantine nodes;
 * :mod:`repro.core.counting` — Algorithm ``CountNodes`` (Section 4);
 * :mod:`repro.core.hybrid` — the Corollary 2 combiner that runs a fast
   probabilistic router in parallel with the guaranteed one.
@@ -46,6 +48,12 @@ from repro.core.routing import (
     route_on_network,
 )
 from repro.core.broadcast import BroadcastResult, broadcast
+from repro.core.reliable_broadcast import (
+    QuorumThresholds,
+    ReliableBroadcastResult,
+    UESTransport,
+    broadcast_reliably,
+)
 from repro.core.counting import CountingResult, count_nodes
 from repro.core.engine import (
     PreparedNetwork,
@@ -96,6 +104,10 @@ __all__ = [
     "CompiledWalk",
     "BroadcastResult",
     "broadcast",
+    "QuorumThresholds",
+    "ReliableBroadcastResult",
+    "UESTransport",
+    "broadcast_reliably",
     "CountingResult",
     "count_nodes",
     "HybridResult",

@@ -14,7 +14,10 @@ testable end to end:
 * :mod:`repro.network.adhoc` — convenience constructors tying deployments,
   unit-disk graphs and namespaces together;
 * :mod:`repro.network.failures` — link/node failure injection used to probe
-  behaviour outside the paper's static model.
+  behaviour outside the paper's static model;
+* :mod:`repro.network.byzantine` — Byzantine behaviour plans and the
+  composed :class:`~repro.network.byzantine.FaultModel` consumed by the
+  reliable-broadcast protocol (:mod:`repro.core.reliable_broadcast`).
 """
 
 from repro.network.message import Header, HeaderField, Message
@@ -23,6 +26,7 @@ from repro.network.simulator import Protocol, SimulationResult, Simulator
 from repro.network.trace import DeliveryRecord, SimulationStats, TraceEvent
 from repro.network.adhoc import AdHocNetwork, build_unit_disk_network, build_graph_network
 from repro.network.failures import FailurePlan
+from repro.network.byzantine import BYZANTINE_BEHAVIORS, ByzantinePlan, FaultModel
 from repro.network.dynamics import (
     DynamicOutcome,
     DynamicRouteResult,
@@ -48,6 +52,9 @@ __all__ = [
     "build_unit_disk_network",
     "build_graph_network",
     "FailurePlan",
+    "BYZANTINE_BEHAVIORS",
+    "ByzantinePlan",
+    "FaultModel",
     "DynamicOutcome",
     "DynamicRouteResult",
     "TopologySchedule",

@@ -1,0 +1,225 @@
+"""Byzantine fault injection plans (sibling of :class:`~repro.network.failures.FailurePlan`).
+
+The crash-failure model in :mod:`repro.network.failures` silences nodes and
+links; this module adds the *malicious* counterpart: a :class:`ByzantinePlan`
+assigns per-node adversarial behaviours — ``equivocate``, ``drop``, ``forge``,
+``delay`` — deterministically from a seed, for the reliable-broadcast layer in
+:mod:`repro.core.reliable_broadcast` to execute.
+
+Both plan kinds can apply to the same scenario.  They compose through
+:class:`FaultModel`, a normalised, frozen union of the two: crashed nodes take
+precedence over Byzantine assignments (a crashed process cannot misbehave),
+and normalisation happens in ``__post_init__`` — so resolving a crash plan
+and a Byzantine plan yields the *same* model whichever plan is applied first
+(:meth:`FaultModel.with_byzantine` / :meth:`FaultModel.with_crashes` commute).
+That order-independence is the composition contract the determinism tests in
+``tests/test_byzantine.py`` pin down, mirroring the hash-order fix
+``FailurePlan.apply`` received earlier.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.network.failures import FailurePlan
+
+__all__ = ["BYZANTINE_BEHAVIORS", "ByzantinePlan", "FaultModel"]
+
+#: The adversarial behaviours a :class:`ByzantinePlan` can assign.
+#:
+#: ``equivocate``
+#:     Split the peers in two halves and push a different value (with matching
+#:     ECHO/READY support) to each half — the classic agreement attack.
+#: ``drop``
+#:     Stay silent: participate in nothing, forward nothing.
+#: ``forge``
+#:     Fabricate ECHO/READY support for a value the source never sent, trying
+#:     to induce a false delivery.
+#: ``delay``
+#:     Follow the protocol honestly but add extra latency to every send (a
+#:     slow-but-correct adversary; stresses totality, not agreement).
+BYZANTINE_BEHAVIORS: Tuple[str, ...] = ("equivocate", "drop", "forge", "delay")
+
+
+def _validate_behavior(behavior: str) -> str:
+    if behavior not in BYZANTINE_BEHAVIORS:
+        raise SimulationError(
+            f"unknown Byzantine behaviour {behavior!r}; "
+            f"choose from {BYZANTINE_BEHAVIORS}"
+        )
+    return behavior
+
+
+@dataclass
+class ByzantinePlan:
+    """Per-node malicious behaviours to inject before a protocol run.
+
+    ``behaviors`` maps node id -> behaviour name (one of
+    :data:`BYZANTINE_BEHAVIORS`); ``delay`` is the extra latency ``delay``
+    nodes add to every send; ``seed`` records the randomness provenance when
+    the plan came from :meth:`random_plan`.
+    """
+
+    behaviors: Dict[int, str] = field(default_factory=dict)
+    delay: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for behavior in self.behaviors.values():
+            _validate_behavior(behavior)
+        if self.delay < 0:
+            raise SimulationError("delay must be >= 0")
+
+    def corrupt(self, node: int, behavior: str) -> "ByzantinePlan":
+        """Assign ``behavior`` to ``node`` (chainable, like ``fail_node``)."""
+        self.behaviors[int(node)] = _validate_behavior(behavior)
+        return self
+
+    @classmethod
+    def random_plan(
+        cls,
+        graph: LabeledGraph,
+        count: int,
+        seed: int = 0,
+        behaviors: Sequence[str] = BYZANTINE_BEHAVIORS,
+        delay: int = 3,
+    ) -> "ByzantinePlan":
+        """Corrupt ``count`` random nodes of ``graph``, deterministically.
+
+        The corrupted set and the behaviour assignment depend only on
+        ``(graph vertex set, count, seed, behaviors)``: vertices are sampled
+        from their sorted order and behaviours are drawn for the chosen nodes
+        in ascending node order, so two identically-parameterised calls build
+        identical plans regardless of hash seeds or iteration order.
+        """
+        pool = tuple(_validate_behavior(b) for b in behaviors)
+        if not pool:
+            raise SimulationError("random_plan needs a non-empty behaviour pool")
+        vertices = sorted(graph.vertices)
+        if not 0 <= count <= len(vertices):
+            raise SimulationError(
+                f"cannot corrupt {count} of {len(vertices)} nodes"
+            )
+        rng = random.Random(seed)
+        chosen = sorted(rng.sample(vertices, count))
+        assigned = {node: pool[rng.randrange(len(pool))] for node in chosen}
+        return cls(behaviors=assigned, delay=delay, seed=seed)
+
+    def behavior_of(self, node: int) -> Optional[str]:
+        """The behaviour assigned to ``node``, or ``None`` when honest."""
+        return self.behaviors.get(node)
+
+    def nodes(self) -> Tuple[int, ...]:
+        """The corrupted node ids, ascending."""
+        return tuple(sorted(self.behaviors))
+
+    def items(self) -> Tuple[Tuple[int, str], ...]:
+        """``(node, behaviour)`` pairs in ascending node order."""
+        return tuple((node, self.behaviors[node]) for node in sorted(self.behaviors))
+
+    def is_empty(self) -> bool:
+        """True when the plan corrupts nobody."""
+        return not self.behaviors
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """The normalised union of a crash plan and a Byzantine plan.
+
+    ``byzantine`` holds ``(node, behaviour)`` pairs sorted by node;
+    ``crashed`` and ``broken_links`` come from a
+    :class:`~repro.network.failures.FailurePlan` (links stored as sorted
+    endpoint pairs).  Normalisation enforces the composition rule in the
+    constructor itself — a node that is both crashed and Byzantine is
+    *crashed* (silent), full stop — which is what makes
+    :meth:`with_byzantine` and :meth:`with_crashes` commute: the same two
+    plans resolve to the same model in either application order.
+    """
+
+    byzantine: Tuple[Tuple[int, str], ...] = ()
+    crashed: Tuple[int, ...] = ()
+    broken_links: Tuple[Tuple[int, int], ...] = ()
+    delay: int = 0
+
+    def __post_init__(self) -> None:
+        crashed = tuple(sorted({int(node) for node in self.crashed}))
+        assignments: Dict[int, str] = {}
+        for node, behavior in self.byzantine:
+            assignments[int(node)] = _validate_behavior(behavior)
+        byzantine = tuple(
+            (node, assignments[node])
+            for node in sorted(assignments)
+            if node not in crashed
+        )
+        links = tuple(
+            sorted({tuple(sorted((int(u), int(v)))) for u, v in self.broken_links})
+        )
+        object.__setattr__(self, "byzantine", byzantine)
+        object.__setattr__(self, "crashed", crashed)
+        object.__setattr__(self, "broken_links", links)
+        if self.delay < 0:
+            raise SimulationError("delay must be >= 0")
+
+    @classmethod
+    def resolve(
+        cls,
+        byzantine: Optional[ByzantinePlan] = None,
+        failures: Optional[FailurePlan] = None,
+    ) -> "FaultModel":
+        """The canonical model for a (possibly absent) pair of plans."""
+        model = cls()
+        if byzantine is not None:
+            model = model.with_byzantine(byzantine)
+        if failures is not None:
+            model = model.with_crashes(failures)
+        return model
+
+    def with_byzantine(self, plan: ByzantinePlan) -> "FaultModel":
+        """This model plus ``plan``'s corruptions (crashes keep precedence)."""
+        merged = dict(self.byzantine)
+        merged.update(plan.behaviors)
+        return FaultModel(
+            byzantine=tuple(sorted(merged.items())),
+            crashed=self.crashed,
+            broken_links=self.broken_links,
+            delay=max(self.delay, plan.delay),
+        )
+
+    def with_crashes(self, plan: FailurePlan) -> "FaultModel":
+        """This model plus ``plan``'s crashed nodes and broken links."""
+        links = set(self.broken_links)
+        for link in plan.failed_links:
+            endpoints = tuple(sorted(link))
+            if len(endpoints) == 1:
+                links.add((endpoints[0], endpoints[0]))
+            else:
+                links.add(endpoints)
+        return FaultModel(
+            byzantine=self.byzantine,
+            crashed=tuple(sorted(set(self.crashed) | set(plan.failed_nodes))),
+            broken_links=tuple(sorted(links)),
+            delay=self.delay,
+        )
+
+    def behavior_of(self, node: int) -> Optional[str]:
+        """The live behaviour of ``node`` (``None`` when honest or crashed)."""
+        for candidate, behavior in self.byzantine:
+            if candidate == node:
+                return behavior
+        return None
+
+    def is_crashed(self, node: int) -> bool:
+        """True when ``node`` is silenced by the crash plan."""
+        return node in self.crashed
+
+    def link_broken(self, u: int, v: int) -> bool:
+        """True when the logical channel between ``u`` and ``v`` is down."""
+        return tuple(sorted((u, v))) in self.broken_links
+
+    def is_empty(self) -> bool:
+        """True when the model injects nothing at all."""
+        return not (self.byzantine or self.crashed or self.broken_links)

@@ -24,6 +24,7 @@ from repro.analysis.experiments import SCENARIO_FAMILIES, ScenarioSpec
 from repro.api.envelope import WIRE_KINDS, TaskResult, from_json, from_wire, to_json, to_wire
 from repro.api.requests import (
     REQUEST_TYPES,
+    BroadcastReliableRequest,
     BroadcastRequest,
     CompareRequest,
     ConformanceRequest,
@@ -35,6 +36,7 @@ from repro.api.requests import (
     SweepRequest,
 )
 from repro.errors import TaskError
+from repro.network.byzantine import BYZANTINE_BEHAVIORS
 
 _GOLDEN = Path(__file__).parent / "data" / "api_envelopes.json"
 
@@ -201,6 +203,59 @@ def test_conformance_request_roundtrip(scenarios, pairs_per_scenario, seed, work
     )
 
 
+@settings(max_examples=40)
+@given(
+    spec=_SPECS,
+    source=st.integers(0, 1000),
+    value=_NAMES,
+    byzantine=st.lists(
+        st.tuples(st.integers(0, 1000), st.sampled_from(BYZANTINE_BEHAVIORS)),
+        max_size=4,
+    ).map(tuple),
+    num_byzantine=st.integers(0, 10),
+    behaviors=st.lists(
+        st.sampled_from(BYZANTINE_BEHAVIORS), min_size=1, max_size=4
+    ).map(tuple),
+    fault_seed=st.integers(0, 2 ** 32),
+    crashes=st.lists(st.integers(0, 1000), max_size=4).map(tuple),
+    delay=st.integers(0, 50),
+)
+def test_broadcast_reliable_request_roundtrip(
+    spec, source, value, byzantine, num_byzantine, behaviors, fault_seed, crashes, delay
+):
+    _roundtrip(
+        BroadcastReliableRequest(
+            scenario=spec,
+            source=source,
+            value=value,
+            byzantine=byzantine,
+            num_byzantine=num_byzantine,
+            behaviors=behaviors,
+            fault_seed=fault_seed,
+            crashes=crashes,
+            delay=delay,
+        )
+    )
+
+
+def test_broadcast_reliable_request_rejects_bad_fields():
+    spec = golden_samples()["RouteRequest"].scenario
+    with pytest.raises(TaskError):
+        BroadcastReliableRequest(scenario=spec, source=0, value="")
+    with pytest.raises(TaskError):
+        BroadcastReliableRequest(scenario=spec, source=0, num_byzantine=-1)
+    with pytest.raises(TaskError):
+        BroadcastReliableRequest(scenario=spec, source=0, delay=-1)
+    with pytest.raises(TaskError):
+        BroadcastReliableRequest(scenario=spec, source=0, behaviors=("gossip",))
+    with pytest.raises(TaskError):
+        BroadcastReliableRequest(scenario=spec, source=0, byzantine=((1, "gossip"),))
+    with pytest.raises(TaskError):
+        BroadcastReliableRequest(
+            scenario=spec, source=0, num_byzantine=2, behaviors=()
+        )
+
+
 _PAYLOAD_VALUES = st.recursive(
     st.one_of(st.none(), st.booleans(), st.integers(-(2 ** 31), 2 ** 31), _NAMES),
     lambda children: st.lists(children, max_size=3)
@@ -271,6 +326,16 @@ def golden_samples():
             scenario=dyn, pairs=None, num_pairs=6, pair_seed=2
         ),
         "BroadcastRequest": BroadcastRequest(scenario=spec, source=5),
+        "BroadcastReliableRequest": BroadcastReliableRequest(
+            scenario=spec,
+            source=0,
+            value="m",
+            num_byzantine=2,
+            behaviors=("equivocate", "forge"),
+            fault_seed=3,
+            crashes=(15,),
+            delay=4,
+        ),
         "CountRequest": CountRequest(scenario=spec, source=5),
         "ConnectivityRequest": ConnectivityRequest(scenario=spec, source=0, target=12),
         "CompareRequest": CompareRequest(scenario=udg, num_pairs=5, pair_seed=9),

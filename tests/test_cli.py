@@ -267,6 +267,10 @@ def test_connectivity_command_detects_disconnection():
 _SMOKE_INVOCATIONS = {
     "route": ["route", "--family", "grid", "--size", "9", "--target", "8"],
     "broadcast": ["broadcast", "--family", "ring", "--size", "6", "--source", "0"],
+    "broadcast-reliable": [
+        "broadcast-reliable", "--family", "ring", "--size", "7",
+        "--num-byzantine", "1", "--behavior", "equivocate", "--fault-seed", "1",
+    ],
     "count": ["count", "--family", "ring", "--size", "6", "--source", "0"],
     "connectivity": ["connectivity", "--family", "ring", "--size", "6", "--target", "3"],
     "compare": ["compare", "--family", "ring", "--size", "6", "--pairs", "1"],

@@ -31,6 +31,7 @@ from repro.analysis.experiments import ScenarioSpec
 from repro.api.backends import Backend
 from repro.api.envelope import TaskResult, to_json, to_wire
 from repro.api.requests import (
+    BroadcastReliableRequest,
     BroadcastRequest,
     CompareRequest,
     ConnectivityRequest,
@@ -178,6 +179,15 @@ PARITY_REQUESTS = [
     ConnectivityRequest(scenario=SPEC, source=0, target=9),
     CompareRequest(scenario=RING, num_pairs=2, pair_seed=3),
     RouteBatchRequest(scenario=SPEC, num_pairs=3, pair_seed=1),
+    BroadcastReliableRequest(scenario=SPEC, source=0, num_byzantine=2, fault_seed=5),
+    BroadcastReliableRequest(
+        scenario=RING,
+        source=1,
+        num_byzantine=1,
+        behaviors=("forge",),
+        fault_seed=2,
+        crashes=(7,),
+    ),
 ]
 
 
@@ -197,6 +207,27 @@ def test_served_results_bit_identical_to_inline_session():
 
     served = asyncio.run(scenario())
     assert [_canonical(result) for result in served] == expected
+
+
+def test_served_reliable_broadcast_reports_the_invariants():
+    request = BroadcastReliableRequest(
+        scenario=SPEC, source=0, num_byzantine=2, fault_seed=5
+    )
+
+    async def scenario():
+        async with running_server() as server:
+            return await client_for(server).submit(request)
+
+    result = asyncio.run(scenario())
+    assert result.task == "broadcast-reliable"
+    assert result.status in ("agreed", "diverged")
+    payload = result.payload
+    assert payload["agreement"] is True
+    assert payload["totality"] is True
+    assert payload["no_false_delivery"] is True
+    assert len(payload["byzantine"]) == 2
+    # f = 2 is below the N/3 threshold for the 16-node grid: guarantees hold.
+    assert result.status == "agreed"
 
 
 def test_batch_endpoint_matches_single_shot_and_preserves_order():
