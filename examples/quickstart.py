@@ -15,7 +15,11 @@ unit-disk network:
    ``RouteRequest`` through a ``Session`` and check the uniform ``TaskResult``
    envelope agrees with the direct call — then round-trip it through JSON,
 6. scale out: submit a ``SweepRequest`` (sharded across worker processes)
-   and check the aggregate matches the inline serial reference row for row.
+   and check the aggregate matches the inline serial reference row for row,
+7. leave the paper's static homogeneous model: sweep a heterogeneous
+   *churn* scenario (capability classes, link churn compiled to a
+   ``TopologySchedule``) through the same machinery and check the pooled
+   aggregate again matches the inline reference bit for bit.
 
 Run it with::
 
@@ -36,6 +40,7 @@ from repro import (
     route_on_network,
 )
 from repro.analysis import ScenarioSpec, structured_scenarios
+from repro.scenarios import churn_scenarios
 from repro.api.envelope import from_json
 
 
@@ -133,6 +138,34 @@ def main() -> None:
         f"sweep: {outcome.payload['shards_total']} shards -> "
         f"{len(outcome.payload['rows'])} rows ({delivered} delivered), "
         f"{outcome.backend} aggregate identical to {reference.backend}"
+    )
+
+    # 7. Heterogeneous churn (extension, docs/scenarios.md): each node gets a
+    #    capability class (datacenter / desktop / mobile) by a seeded draw, the
+    #    topology is a budgeted unit-disk graph that respects every class's
+    #    degree budget, and per-class sessions compile into a TopologySchedule
+    #    whose snapshot 0 is the all-up base graph.  The spec is an ordinary
+    #    ScenarioSpec, so the sharded sweep, the schedule walker and the
+    #    determinism guarantee all apply unchanged.
+    churn_spec = churn_scenarios(
+        [18], radius=0.42, seeds=(5,), snapshot_count=3, switch_every=6
+    )[0]
+    churn_sweep = SweepRequest(
+        scenarios=(churn_spec,),
+        routers=("ues-schedule",),
+        pairs=4,
+        master_seed=0,
+        workers=2,
+    )
+    pooled = session.submit(churn_sweep)
+    inline = session.submit(churn_sweep, backend="inline")
+    assert pooled.payload["rows"] == inline.payload["rows"]
+    churn_delivered = sum(1 for row in pooled.payload["rows"] if row[6])
+    print(
+        f"heterogeneous churn: {churn_spec.name} swept over "
+        f"{dict(churn_spec.extra)['snapshots']} snapshots -> "
+        f"{len(pooled.payload['rows'])} rows ({churn_delivered} delivered), "
+        "pooled aggregate identical to inline"
     )
 
 

@@ -26,6 +26,8 @@ from repro.analysis.experiments import (
     build_scenario,
     build_schedule,
     dynamic_schedule_scenarios,
+    is_dynamic_scenario,
+    is_streamed_scenario,
     reference_run_parameter_sweep,
     run_parameter_sweep,
     structured_scenarios,
@@ -66,6 +68,8 @@ __all__ = [
     "build_scenario",
     "build_schedule",
     "dynamic_schedule_scenarios",
+    "is_dynamic_scenario",
+    "is_streamed_scenario",
     "reference_run_parameter_sweep",
     "run_parameter_sweep",
     "structured_scenarios",

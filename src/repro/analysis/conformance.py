@@ -65,11 +65,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import (
+    DYNAMIC_FAMILIES,
     ScenarioSpec,
     build_scenario,
     build_schedule,
     dynamic_schedule_scenarios,
     is_dynamic_scenario,
+    is_streamed_scenario,
     pick_source_target_pairs,
 )
 from repro.analysis.runner import parallel_map
@@ -84,7 +86,7 @@ from repro.core.reliable_broadcast import (
 )
 from repro.core.routing import RouteOutcome, route, route_on_network
 from repro.core.universal import SequenceProvider
-from repro.graphs.connectivity import are_connected, is_connected
+from repro.graphs.connectivity import are_connected, connected_component, is_connected
 from repro.network.byzantine import BYZANTINE_BEHAVIORS, ByzantinePlan, FaultModel
 from repro.network.dynamics import (
     DynamicOutcome,
@@ -148,7 +150,11 @@ def default_conformance_matrix() -> List[ScenarioSpec]:
     structured topologies spanning degree profiles (grid, ring, prism,
     random-regular, lollipop, tree), sparse Erdős–Rényi and the deliberately
     disconnected ``two-rings`` family (failure/confirmation paths), plus
-    dynamic topology schedules for every supported mutation.
+    dynamic topology schedules for every supported mutation, and the
+    :mod:`repro.scenarios` families: heterogeneous budgeted unit-disk
+    (``hetero-degree-respected``), churn and mobility schedules
+    (``churn-delivery-iff-connected``), and small streamed shard families
+    (``streamed-parity`` against the materialised union).
     """
     scenarios: List[ScenarioSpec] = [
         ScenarioSpec(name="udg2d-n20", family="unit-disk", size=20, seed=0, radius=0.35),
@@ -174,7 +180,7 @@ def default_conformance_matrix() -> List[ScenarioSpec]:
             families=("grid", "ring"),
             sizes=(12,),
             seeds=(0,),
-            snapshots=3,
+            snapshot_count=3,
             switch_every=5,
             mutations=("relabel", "drop-edge"),
         )
@@ -186,6 +192,61 @@ def default_conformance_matrix() -> List[ScenarioSpec]:
             size=12,
             seed=0,
             extra=(("mutation", "static"), ("snapshots", 1), ("switch_every", 4)),
+        )
+    )
+    # The repro.scenarios families: heterogeneous capability budgets (two
+    # seeds), churn and mobility schedules (two churn seeds so the
+    # churn-delivery-iff-connected invariant sees different traces), and
+    # small streamed shard families checked against their materialised union.
+    for hetero_seed in (0, 1):
+        scenarios.append(
+            ScenarioSpec(
+                name=f"hetero-mixed-n24-s{hetero_seed}",
+                family="hetero-unit-disk",
+                size=24,
+                seed=hetero_seed,
+                radius=0.35,
+                extra=(("profile", "mixed"),),
+            )
+        )
+    for churn_seed in (0, 1):
+        scenarios.append(
+            ScenarioSpec(
+                name=f"churn-mixed-n20-s{churn_seed}",
+                family="churn",
+                size=20,
+                seed=churn_seed,
+                radius=0.4,
+                extra=(("profile", "mixed"), ("snapshots", 4), ("switch_every", 5)),
+            )
+        )
+    scenarios.append(
+        ScenarioSpec(
+            name="mobility-mixed-n18",
+            family="mobility",
+            size=18,
+            seed=0,
+            radius=0.4,
+            extra=(("profile", "mixed"), ("snapshots", 3), ("switch_every", 5)),
+        )
+    )
+    scenarios.append(
+        ScenarioSpec(
+            name="streamed-grid-n48",
+            family="streamed-grid",
+            size=48,
+            seed=0,
+            extra=(("shard_size", 16),),
+        )
+    )
+    scenarios.append(
+        ScenarioSpec(
+            name="streamed-ud-n36",
+            family="streamed-unit-disk",
+            size=36,
+            seed=0,
+            radius=0.4,
+            extra=(("shard_size", 12),),
         )
     )
     scenarios.extend(malicious_broadcast_scenarios())
@@ -524,6 +585,38 @@ def _check_static_scenario(
             f"batched={batched_result} scalar={scalar_result}",
         )
 
+    # --- heterogeneous capability budgets hold on the built topology ------- #
+    if spec.family == "hetero-unit-disk":
+        from repro.scenarios.capabilities import (
+            assignment_for_spec,
+            degree_budget_violations,
+        )
+
+        violations = degree_budget_violations(graph, assignment_for_spec(spec))
+        tallies.setdefault("hetero-capabilities", _Tally()).pairs = len(graph.vertices)
+        check(
+            "hetero-capabilities", -1, -1, "hetero-degree-respected",
+            not violations,
+            f"degree over budget at (vertex, degree, budget): {violations}",
+        )
+
+    # --- streamed shard-local routing against the materialised union ------- #
+    if is_streamed_scenario(spec):
+        from repro.scenarios.streaming import family_from_spec, route_streamed_pairs
+
+        streamed_results = route_streamed_pairs(
+            family_from_spec(spec), list(pairs), provider=provider
+        )
+        tallies.setdefault("ues-streamed", _Tally()).pairs = len(pairs)
+        for (s, t), union_result, shard_result in zip(
+            pairs, engine_results, streamed_results
+        ):
+            check(
+                "ues-streamed", s, t, "streamed-parity",
+                shard_result == union_result,
+                f"shard-local={shard_result} union={union_result}",
+            )
+
     for router_name in sorted(tallies):
         tally = tallies[router_name]
         report.rows.append(
@@ -703,6 +796,41 @@ def _check_dynamic_scenario(
 
         api_session = Session()
 
+    # Heterogeneous schedules (churn / mobility): every materialised snapshot
+    # must respect the capability degree budgets the base was built under,
+    # and churn delivery must track connectivity (see the per-pair check).
+    churn_component_stable: Dict[frozenset, bool] = {}
+    if spec.family in DYNAMIC_FAMILIES:
+        from repro.scenarios.capabilities import (
+            assignment_for_spec,
+            degree_budget_violations,
+        )
+
+        assignment = assignment_for_spec(spec)
+        for index, snapshot in enumerate(schedule.snapshots):
+            budget_violations = degree_budget_violations(snapshot, assignment)
+            check(
+                -1, -1, "hetero-degree-respected",
+                not budget_violations,
+                f"snapshot {index} exceeds budgets at "
+                f"(vertex, degree, budget): {budget_violations}",
+            )
+
+    def churn_component_untouched(component: frozenset) -> bool:
+        # Churn only removes edges, and components are edge-closed, so the
+        # source's base component is untouched by the whole schedule iff its
+        # induced subgraph is identical in every snapshot — in which case the
+        # dynamic walk degenerates to the static walk on snapshot 0.
+        cached = churn_component_stable.get(component)
+        if cached is None:
+            base_induced = base.induced_subgraph(component)
+            cached = all(
+                snapshot.induced_subgraph(component) == base_induced
+                for snapshot in schedule.snapshots[1:]
+            )
+            churn_component_stable[component] = cached
+        return cached
+
     static_engine = prepare(base)
     scalar_results: List[object] = []
     for s, t in pairs:
@@ -745,6 +873,30 @@ def _check_dynamic_scenario(
                 and result.outcome is not DynamicOutcome.STRANDED,
                 f"dynamic={result.outcome.value} static={static_result.outcome.value}",
             )
+        if spec.family == "churn":
+            # Link churn only ever removes base edges, so a delivery implies
+            # base (snapshot-0) connectivity unconditionally; and when the
+            # source's base component is untouched by the whole trace, the
+            # walk degenerates to static routing — delivery *iff* connected,
+            # and no stranding.
+            delivered = result.outcome is DynamicOutcome.DELIVERED
+            base_connected = are_connected(base, s, t)
+            if churn_component_untouched(frozenset(connected_component(base, s))):
+                ok = (
+                    delivered == base_connected
+                    and result.outcome is not DynamicOutcome.STRANDED
+                )
+                detail = (
+                    f"untouched component: outcome={result.outcome.value} "
+                    f"base-connected={base_connected}"
+                )
+            else:
+                ok = (not delivered) or base_connected
+                detail = (
+                    f"churned component: delivered={delivered} "
+                    f"base-connected={base_connected}"
+                )
+            check(s, t, "churn-delivery-iff-connected", ok, detail)
 
     # The lockstep schedule stepper must agree with the scalar resumed walk
     # on every pair (scalar reference when NumPy is absent — see the static

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.deprecation import warn_once
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, GraphStructureError
 from repro.graphs import generators
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.network.adhoc import AdHocNetwork, build_graph_network, build_unit_disk_network
@@ -48,6 +48,7 @@ __all__ = [
     "ExperimentTable",
     "reference_run_parameter_sweep",
     "is_dynamic_scenario",
+    "is_streamed_scenario",
     "build_scenario",
     "build_schedule",
     "unit_disk_scenarios",
@@ -73,7 +74,22 @@ SCENARIO_FAMILIES = (
     "lollipop",
     "tree",
     "two-rings",
+    "hetero-unit-disk",
+    "churn",
+    "mobility",
+    "streamed-grid",
+    "streamed-torus",
+    "streamed-ring",
+    "streamed-unit-disk",
 )
+
+#: Families that are dynamic *by construction*: their spec always
+#: materialises through :func:`build_schedule` (churn traces / waypoint
+#: mobility over a heterogeneous base), extras or not.
+DYNAMIC_FAMILIES = ("churn", "mobility")
+
+#: Radius-bearing families: positioned deployments under a radio range.
+POSITIONAL_FAMILIES = ("unit-disk", "hetero-unit-disk", "churn", "mobility")
 
 #: ``extra`` keys that mark a spec as a dynamic-schedule scenario.
 _SCHEDULE_KEYS = ("snapshots", "mutation", "switch_every")
@@ -84,9 +100,23 @@ def is_dynamic_scenario(spec: "ScenarioSpec") -> bool:
 
     The single source of truth for the distinction: the sweep planner routes
     dynamic specs through the schedule walker and the conformance harness
-    checks them against the dynamic invariants.
+    checks them against the dynamic invariants.  A spec is dynamic when its
+    family is inherently dynamic (:data:`DYNAMIC_FAMILIES`) or when its
+    ``extra`` parameters carry schedule keys.
     """
-    return any(key in _SCHEDULE_KEYS for key, _ in spec.extra)
+    return spec.family in DYNAMIC_FAMILIES or any(
+        key in _SCHEDULE_KEYS for key, _ in spec.extra
+    )
+
+
+def is_streamed_scenario(spec: "ScenarioSpec") -> bool:
+    """True when the spec describes a streamed (sharded) scenario family.
+
+    Streamed specs are routed shard by shard through
+    :mod:`repro.scenarios.streaming`; :func:`build_scenario` still
+    materialises them fully for the small sizes conformance uses.
+    """
+    return spec.family.startswith("streamed-")
 
 
 @dataclass(frozen=True)
@@ -144,7 +174,10 @@ def build_scenario(spec: ScenarioSpec) -> AdHocNetwork:
 
     Families: ``unit-disk`` (requires ``radius``), ``grid``, ``torus``,
     ``ring``, ``prism``, ``random-regular``, ``erdos-renyi``, ``lollipop``,
-    ``tree``, ``two-rings``.
+    ``tree``, ``two-rings``, plus the :mod:`repro.scenarios` families —
+    ``hetero-unit-disk`` / ``churn`` / ``mobility`` (budgeted unit-disk over
+    a capability profile, require ``radius``) and ``streamed-*`` (sharded
+    families, materialised fully here only for small sizes).
 
     Structured families round ``size`` to the nearest valid configuration
     (a grid needs a square side, a prism an even count, ``two-rings`` two
@@ -162,6 +195,19 @@ def build_scenario(spec: ScenarioSpec) -> AdHocNetwork:
             seed=spec.seed,
             namespace_size=spec.namespace_size,
         )
+    if family in ("hetero-unit-disk",) + DYNAMIC_FAMILIES:
+        # Heterogeneous (budgeted) unit-disk; for churn/mobility this is the
+        # all-up snapshot-0 base network the dynamic schedule starts from.
+        from repro.scenarios.capabilities import build_hetero_network
+
+        return build_hetero_network(spec)
+    if is_streamed_scenario(spec):
+        # Full materialisation — intended for the *small* streamed sizes the
+        # conformance/parity paths use; large families route shard by shard
+        # through repro.scenarios.streaming without ever building this.
+        from repro.scenarios.streaming import streamed_network
+
+        return streamed_network(spec)
     graph = _structured_graph(spec)
     return build_graph_network(graph, namespace_size=spec.namespace_size)
 
@@ -219,7 +265,25 @@ def build_schedule(spec: ScenarioSpec) -> TopologySchedule:
 
     Mutations are seeded from ``spec.seed``, so the same spec always yields
     the same schedule.
+
+    The :data:`DYNAMIC_FAMILIES` (``churn`` / ``mobility``) ignore the
+    mutation machinery entirely: their schedules come from the session/
+    mobility processes in :mod:`repro.scenarios.churn` (reading ``profile``,
+    ``snapshots`` and ``switch_every`` from ``extra``).
+
+    Every mutation-generated snapshot is validated to preserve the base
+    topology's vertex namespace — in-flight walks name the vertex they sit
+    on, so a snapshot that drops (or invents) vertices would corrupt them
+    mid-delivery.  A violating mutation raises
+    :class:`~repro.errors.GraphStructureError` naming the offending snapshot
+    index.
     """
+    if spec.family in DYNAMIC_FAMILIES:
+        from repro.scenarios.churn import build_churn_schedule, build_mobility_schedule
+
+        if spec.family == "churn":
+            return build_churn_schedule(spec)
+        return build_mobility_schedule(spec)
     base = build_scenario(spec).graph
     extra = dict(spec.extra)
     count = int(extra.get("snapshots", 1))
@@ -234,10 +298,19 @@ def build_schedule(spec: ScenarioSpec) -> TopologySchedule:
             f"unknown schedule mutation {mutation!r}; expected one of {SCHEDULE_MUTATIONS}"
         )
     rng = random.Random((spec.seed, "schedule-mutations").__repr__())
+    base_vertices = set(base.vertices)
     snapshots: List[LabeledGraph] = [base]
     current = base
-    for _ in range(count - 1):
+    for index in range(1, count):
         current = _mutate_snapshot(current, mutation, rng)
+        if set(current.vertices) != base_vertices:
+            missing = sorted(base_vertices - set(current.vertices))
+            extra_vertices = sorted(set(current.vertices) - base_vertices)
+            raise GraphStructureError(
+                f"schedule mutation {mutation!r} broke the vertex namespace at "
+                f"snapshot {index}: missing {missing!r}, unexpected "
+                f"{extra_vertices!r}"
+            )
         snapshots.append(current)
     switch_times = tuple(index * period for index in range(count))
     return TopologySchedule(snapshots=tuple(snapshots), switch_times=switch_times)
@@ -304,9 +377,10 @@ def dynamic_schedule_scenarios(
     families: Sequence[str] = ("grid", "ring"),
     sizes: Sequence[int] = (16,),
     seeds: Sequence[int] = (0,),
-    snapshots: int = 3,
+    snapshot_count: int = 3,
     switch_every: int = 6,
     mutations: Sequence[str] = ("relabel",),
+    snapshots: Optional[int] = None,
 ) -> List[ScenarioSpec]:
     """A grid of dynamic-schedule scenarios over families × sizes × seeds × mutations.
 
@@ -314,7 +388,16 @@ def dynamic_schedule_scenarios(
     with :func:`build_schedule`; its base topology is still available through
     :func:`build_scenario`, which is how the conformance harness compares the
     dynamic walk against static routing on snapshot 0.
+
+    ``snapshot_count`` sets how many snapshots each schedule carries (the
+    ``repro sweep`` CLI threads ``--snapshots`` through here); the legacy
+    ``snapshots`` keyword is accepted as an alias and takes precedence when
+    given.
     """
+    if snapshots is not None:
+        snapshot_count = snapshots
+    if snapshot_count < 1:
+        raise ExperimentError("a schedule needs at least one snapshot")
     specs: List[ScenarioSpec] = []
     for family, size, seed, mutation in itertools.product(
         families, sizes, seeds, mutations
@@ -327,7 +410,7 @@ def dynamic_schedule_scenarios(
                 seed=seed,
                 extra=(
                     ("mutation", mutation),
-                    ("snapshots", snapshots),
+                    ("snapshots", snapshot_count),
                     ("switch_every", switch_every),
                 ),
             )

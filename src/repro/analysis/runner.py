@@ -58,11 +58,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.analysis.experiments import (
+    POSITIONAL_FAMILIES,
     ExperimentResult,
     ScenarioSpec,
     build_scenario,
     build_schedule,
     is_dynamic_scenario,
+    is_streamed_scenario,
     pick_source_target_pairs,
 )
 from repro.baselines import ALL_ROUTER_SPECS, router_applies
@@ -224,13 +226,13 @@ def _router_applies(name: str, spec: ScenarioSpec) -> bool:
 
     Delegates to the shared policy :func:`repro.baselines.router_applies`;
     only the "does this scenario have positions" question is answered from
-    the spec (``unit-disk`` is the one family that deploys nodes) instead of
-    from a built network.
+    the spec (the :data:`~repro.analysis.experiments.POSITIONAL_FAMILIES`
+    deploy nodes) instead of from a built network.
     """
     if name == ENGINE_ROUTER:
         return True
     return router_applies(
-        _router_by_name(name), spec.family == "unit-disk", spec.dimension
+        _router_by_name(name), spec.family in POSITIONAL_FAMILIES, spec.dimension
     )
 
 
@@ -271,6 +273,11 @@ def plan_sweep(
     for spec in scenarios:
         if is_dynamic_scenario(spec):
             shard_routers = (SCHEDULE_ROUTER,)
+        elif is_streamed_scenario(spec):
+            # Streamed scenarios are routed shard by shard without ever
+            # materialising the union, which only the prepared engine can do;
+            # the baselines would need the whole graph resident.
+            shard_routers = tuple(r for r in routers if r == ENGINE_ROUTER)
         else:
             # The schedule walker has no static contract; requesting it (the
             # exported SCHEDULE_ROUTER constant is a valid router name) only
@@ -412,6 +419,20 @@ def evaluate_shard(shard: SweepShard) -> List[List[object]]:
             )
             for (source, target), result in zip(pairs, engine.route_many(pairs))
         ]
+    if is_streamed_scenario(spec):
+        # Shard-local routing: pairs are drawn inside shards and routed on
+        # the local shard graphs — the union is never materialised, so the
+        # worker's resident memory is bounded by the shard size.
+        from repro.scenarios.streaming import (
+            family_from_spec,
+            pick_streamed_pairs,
+            route_streamed_pairs,
+        )
+
+        family = family_from_spec(spec)
+        pairs = pick_streamed_pairs(family, shard.pairs, seed=shard.seed)
+        results = route_streamed_pairs(family, pairs)
+        return _engine_rows(spec, shard.router, pairs, results)
     network = _materialise("network", spec, build_scenario)
     pairs = pick_source_target_pairs(network, shard.pairs, seed=shard.seed)
     if shard.router == ENGINE_ROUTER:
@@ -463,7 +484,11 @@ def evaluate_shards(
     rows_by_index: Dict[int, List[List[object]]] = {}
     engine_shards: List[SweepShard] = []
     for shard in shards:
-        if multigraph is not False and shard.router == ENGINE_ROUTER:
+        if (
+            multigraph is not False
+            and shard.router == ENGINE_ROUTER
+            and not is_streamed_scenario(shard.spec)
+        ):
             engine_shards.append(shard)
         else:
             rows_by_index[shard.index] = evaluate_shard(shard)

@@ -21,9 +21,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.experiments import (
+    POSITIONAL_FAMILIES,
     SCENARIO_FAMILIES,
     SCHEDULE_MUTATIONS,
     ScenarioSpec,
+    dynamic_schedule_scenarios,
     structured_scenarios,
     unit_disk_scenarios,
 )
@@ -55,6 +57,10 @@ __all__ = [
 #: Topology families every network-generating subcommand understands — the
 #: canonical list lives next to :func:`repro.analysis.experiments.build_scenario`.
 _FAMILY_CHOICES = list(SCENARIO_FAMILIES)
+
+#: Families whose generator consumes ``--radius`` (everything built over a
+#: geometric deployment, plus the sharded unit-disk stream).
+_RADIUS_FAMILIES = POSITIONAL_FAMILIES + ("streamed-unit-disk",)
 
 
 @dataclass(frozen=True)
@@ -100,7 +106,9 @@ def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
         help="topology family to generate",
     )
     parser.add_argument("--size", type=int, default=30, help="number of nodes")
-    parser.add_argument("--radius", type=float, default=0.3, help="radio range (unit-disk only)")
+    parser.add_argument(
+        "--radius", type=float, default=0.3, help="radio range (positional families)"
+    )
     parser.add_argument("--dimension", type=int, default=2, choices=[2, 3], help="deployment dimension")
     parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
     parser.add_argument(
@@ -115,7 +123,7 @@ def scenario_from_args(args: argparse.Namespace) -> ScenarioSpec:
         family=args.family,
         size=args.size,
         seed=args.seed,
-        radius=args.radius if args.family == "unit-disk" else None,
+        radius=args.radius if args.family in _RADIUS_FAMILIES else None,
         dimension=args.dimension,
         namespace_size=2 ** args.namespace_bits,
     )
@@ -302,10 +310,30 @@ def _configure_sweep(parser: argparse.ArgumentParser) -> None:
         help="instance seeds per (family, size) cell",
     )
     parser.add_argument(
-        "--radius", type=float, default=0.3, help="radio range (unit-disk only)"
+        "--radius", type=float, default=0.3, help="radio range (positional families)"
     )
     parser.add_argument(
         "--dimension", type=int, default=2, choices=[2, 3], help="deployment dimension"
+    )
+    parser.add_argument(
+        "--snapshots",
+        type=int,
+        default=0,
+        help=(
+            "snapshots per dynamic schedule (churn/mobility default to 4; for a "
+            "structured family a value > 0 sweeps its mutated dynamic schedule "
+            "instead of the static graph)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=64,
+        help=(
+            "vertices per lazily-materialised shard of a streamed-* family "
+            "(walk cost grows superlinearly with shard size; total size only "
+            "adds shards)"
+        ),
     )
     parser.add_argument(
         "--pairs", type=int, default=8, help="source/target pairs per shard"
@@ -354,21 +382,62 @@ def _build_sweep(args: argparse.Namespace) -> SweepRequest:
     # names the options the user actually typed.
     if args.resume and args.out is None:
         raise TaskError("--resume needs --out: there is no shard stream to resume from")
+    if args.snapshots < 0:
+        raise TaskError("--snapshots must be >= 0")
+    # Imported lazily for the same reason as SWEEP_ROUTERS in _configure_sweep.
+    from repro.scenarios import (
+        churn_scenarios,
+        hetero_unit_disk_scenarios,
+        mobility_scenarios,
+        streamed_scenarios,
+    )
+
+    seeds = tuple(args.scenario_seeds)
+    snapshots = getattr(args, "snapshots", 0)
     scenarios = []
     for family in args.families:
         if family == "unit-disk":
             scenarios.extend(
                 unit_disk_scenarios(
+                    args.sizes, radius=args.radius, dimension=args.dimension, seeds=seeds
+                )
+            )
+        elif family == "hetero-unit-disk":
+            scenarios.extend(
+                hetero_unit_disk_scenarios(
+                    args.sizes, radius=args.radius, dimension=args.dimension, seeds=seeds
+                )
+            )
+        elif family in ("churn", "mobility"):
+            build = churn_scenarios if family == "churn" else mobility_scenarios
+            scenarios.extend(
+                build(
                     args.sizes,
                     radius=args.radius,
                     dimension=args.dimension,
-                    seeds=tuple(args.scenario_seeds),
+                    seeds=seeds,
+                    snapshot_count=snapshots or 4,
+                )
+            )
+        elif family.startswith("streamed-"):
+            scenarios.extend(
+                streamed_scenarios(
+                    family,
+                    args.sizes,
+                    seeds=seeds,
+                    shard_size=args.shard_size,
+                    radius=args.radius if family == "streamed-unit-disk" else None,
+                    dimension=args.dimension,
+                )
+            )
+        elif snapshots > 0:
+            scenarios.extend(
+                dynamic_schedule_scenarios(
+                    (family,), args.sizes, seeds=seeds, snapshot_count=snapshots
                 )
             )
         else:
-            scenarios.extend(
-                structured_scenarios(family, args.sizes, seeds=tuple(args.scenario_seeds))
-            )
+            scenarios.extend(structured_scenarios(family, args.sizes, seeds=seeds))
     return SweepRequest(
         scenarios=tuple(scenarios),
         routers=tuple(args.routers),

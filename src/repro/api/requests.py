@@ -114,8 +114,10 @@ class RouteBatchRequest(WireCodable):
 class ScheduleRouteRequest(WireCodable):
     """Route pairs over a dynamic topology schedule (the extension workload).
 
-    The scenario must be a dynamic-schedule spec (``snapshots`` / ``mutation``
-    / ``switch_every`` in its ``extra`` parameters), materialised with
+    The scenario must be a dynamic-schedule spec: either a ``churn`` /
+    ``mobility`` family scenario (dynamic by construction) or any family with
+    ``snapshots`` / ``mutation`` / ``switch_every`` in its ``extra``
+    parameters, materialised with
     :func:`repro.analysis.experiments.build_schedule`.
     """
 
@@ -132,8 +134,9 @@ class ScheduleRouteRequest(WireCodable):
         if not is_dynamic_scenario(self.scenario):
             raise TaskError(
                 f"scenario {self.scenario.name!r} is not a dynamic-schedule "
-                "spec; add snapshots/mutation/switch_every to its extra "
-                "parameters (or use RouteRequest/RouteBatchRequest)"
+                "spec; use a churn/mobility family or add snapshots/mutation/"
+                "switch_every to its extra parameters (or use RouteRequest/"
+                "RouteBatchRequest)"
             )
         if self.pairs is None and self.num_pairs < 1:
             raise TaskError("a schedule route needs pairs or num_pairs >= 1")

@@ -72,6 +72,24 @@ class Deployment:
             for j in range(i + 1, len(ids))
         }
 
+    def with_positions(self, moved: Mapping[int, Point]) -> "Deployment":
+        """A new deployment with some nodes moved to new positions.
+
+        ``moved`` maps a subset of this deployment's node ids to their new
+        positions; every other node keeps its current position.  This is the
+        primitive the waypoint mobility model in :mod:`repro.scenarios.churn`
+        uses to advance a deployment by one snapshot without rebuilding it
+        from scratch.
+        """
+        unknown = sorted(set(moved) - set(self.positions))
+        if unknown:
+            raise GeometryError(f"cannot move unknown nodes {unknown!r}")
+        if not moved:
+            return self
+        updated = dict(self.positions)
+        updated.update(moved)
+        return Deployment(updated)
+
     def bounding_box(self) -> Tuple[Tuple[float, float], ...]:
         """Per-axis ``(min, max)`` ranges of the deployed positions."""
         points = [p.coordinates() for p in self.positions.values()]

@@ -124,9 +124,14 @@ def validate_schedule(schedule: TopologySchedule) -> None:
         raise GraphStructureError(
             f"switch times must be strictly increasing, got {switch_times!r}"
         )
-    vertex_sets = {tuple(graph.vertices) for graph in snapshots}
-    if len(vertex_sets) != 1:
-        raise GraphStructureError("all snapshots must share the same vertex set")
+    base_vertices = tuple(snapshots[0].vertices)
+    for index, graph in enumerate(snapshots[1:], start=1):
+        if tuple(graph.vertices) != base_vertices:
+            raise GraphStructureError(
+                "all snapshots must share the same vertex set: snapshot "
+                f"{index} diverges from snapshot 0 (an in-flight walk could "
+                "reference a vertex that no longer exists)"
+            )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,282 @@
+"""Node capability classes and heterogeneous unit-disk construction.
+
+Real overlays are heterogeneous: a datacenter node sustains dozens of links
+and stays up for days, a mobile handset keeps a handful of links and churns
+every few minutes.  Following the PODS framing (arXiv:2306.16153), this
+module models that spread as a small set of :class:`CapabilityClass` records
+(degree budget, bandwidth weight, mean session/downtime lengths, movement
+speed) mixed by a :class:`CapabilityProfile`, assigned to nodes by a seeded
+draw so every generated workload is replayable from ``(profile, seed)``.
+
+The heterogeneous topology itself is a *budgeted* unit-disk graph
+(:func:`hetero_unit_disk_graph`): candidate radio links are considered in
+increasing-distance order and accepted only while both endpoints have degree
+budget left, so a ``mobile`` node never carries more links than its class
+allows.  The ``hetero-degree-respected`` conformance invariant re-checks that
+bound on every materialised snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.geometry.deployment import Deployment, random_deployment
+from repro.geometry.unit_disk import unit_disk_edges
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.network.adhoc import AdHocNetwork, build_graph_network
+
+__all__ = [
+    "CapabilityClass",
+    "CapabilityProfile",
+    "CAPABILITY_CLASSES",
+    "PROFILES",
+    "profile_named",
+    "assign_capabilities",
+    "assignment_for_spec",
+    "hetero_unit_disk_graph",
+    "build_hetero_network",
+    "degree_budget_violations",
+]
+
+
+@dataclass(frozen=True)
+class CapabilityClass:
+    """One class of nodes: its link budget, bandwidth and uptime behaviour.
+
+    ``degree_budget``
+        Maximum number of radio links a node of this class accepts.
+    ``bandwidth_weight``
+        Relative link capacity (reserved for cost-weighted experiments).
+    ``mean_session`` / ``mean_downtime``
+        Mean number of schedule snapshots a node of this class stays up /
+        down; the churn trace draws geometric session lengths from them.
+    ``speed``
+        Distance moved per snapshot by the waypoint mobility model
+        (0 pins the node in place).
+    """
+
+    name: str
+    degree_budget: int
+    bandwidth_weight: float
+    mean_session: float
+    mean_downtime: float
+    speed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.degree_budget < 1:
+            raise ExperimentError(f"class {self.name!r}: degree_budget must be >= 1")
+        if self.bandwidth_weight <= 0:
+            raise ExperimentError(f"class {self.name!r}: bandwidth_weight must be positive")
+        if self.mean_session < 1 or self.mean_downtime < 1:
+            raise ExperimentError(
+                f"class {self.name!r}: mean session/downtime must be >= 1 snapshot"
+            )
+        if self.speed < 0:
+            raise ExperimentError(f"class {self.name!r}: speed must be >= 0")
+
+
+#: The built-in capability classes, keyed by name.
+CAPABILITY_CLASSES: Mapping[str, CapabilityClass] = {
+    cls.name: cls
+    for cls in (
+        CapabilityClass(
+            name="datacenter",
+            degree_budget=16,
+            bandwidth_weight=10.0,
+            mean_session=64.0,
+            mean_downtime=2.0,
+            speed=0.0,
+        ),
+        CapabilityClass(
+            name="desktop",
+            degree_budget=6,
+            bandwidth_weight=2.0,
+            mean_session=12.0,
+            mean_downtime=4.0,
+            speed=0.02,
+        ),
+        CapabilityClass(
+            name="mobile",
+            degree_budget=3,
+            bandwidth_weight=0.5,
+            mean_session=4.0,
+            mean_downtime=4.0,
+            speed=0.08,
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class CapabilityProfile:
+    """A named mix of capability classes with draw weights.
+
+    ``mix`` pairs class names (keys of :data:`CAPABILITY_CLASSES`) with
+    positive weights; :func:`assign_capabilities` draws each node's class
+    from the normalised mix.
+    """
+
+    name: str
+    mix: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise ExperimentError(f"profile {self.name!r} has an empty mix")
+        for class_name, weight in self.mix:
+            if class_name not in CAPABILITY_CLASSES:
+                raise ExperimentError(
+                    f"profile {self.name!r}: unknown capability class {class_name!r}"
+                )
+            if weight <= 0:
+                raise ExperimentError(
+                    f"profile {self.name!r}: weight for {class_name!r} must be positive"
+                )
+
+    def classes(self) -> Tuple[Tuple[CapabilityClass, float], ...]:
+        """The mix with class names resolved to :class:`CapabilityClass`."""
+        return tuple(
+            (CAPABILITY_CLASSES[class_name], weight) for class_name, weight in self.mix
+        )
+
+
+#: The built-in profiles, keyed by name.  ``mixed`` is the default for the
+#: ``hetero-unit-disk`` / ``churn`` / ``mobility`` scenario families.
+PROFILES: Mapping[str, CapabilityProfile] = {
+    profile.name: profile
+    for profile in (
+        CapabilityProfile(name="datacenter", mix=(("datacenter", 1.0),)),
+        CapabilityProfile(name="desktop", mix=(("desktop", 1.0),)),
+        CapabilityProfile(name="mobile", mix=(("mobile", 1.0),)),
+        CapabilityProfile(
+            name="mixed",
+            mix=(("datacenter", 0.1), ("desktop", 0.5), ("mobile", 0.4)),
+        ),
+    )
+}
+
+
+def profile_named(name: str) -> CapabilityProfile:
+    """Look up a built-in profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown capability profile {name!r}; expected one of {sorted(PROFILES)}"
+        ) from None
+
+
+def assign_capabilities(
+    node_ids: Iterable[int], profile: CapabilityProfile, seed: int = 0
+) -> Dict[int, CapabilityClass]:
+    """Assign each node a capability class by seeded weighted draw.
+
+    Nodes are visited in increasing id order and classes are drawn from one
+    :class:`random.Random` seeded on ``(seed, profile.name)``, so the
+    assignment is bit-identical across processes and runs for the same
+    inputs.
+    """
+    rng = random.Random((seed, "capabilities", profile.name).__repr__())
+    mix = profile.classes()
+    total = sum(weight for _, weight in mix)
+    assignment: Dict[int, CapabilityClass] = {}
+    for node in sorted(set(node_ids)):
+        draw = rng.random() * total
+        cumulative = 0.0
+        chosen = mix[-1][0]
+        for capability, weight in mix:
+            cumulative += weight
+            if draw < cumulative:
+                chosen = capability
+                break
+        assignment[node] = chosen
+    return assignment
+
+
+def hetero_unit_disk_graph(
+    deployment: Deployment,
+    assignment: Mapping[int, CapabilityClass],
+    radius: float,
+) -> LabeledGraph:
+    """Budgeted unit-disk graph: links accepted in distance order within budgets.
+
+    Candidate edges are the plain unit-disk edges, sorted by
+    ``(distance, u, v)`` — nearest links are claimed first, mirroring how
+    radio neighbourships form.  An edge is accepted only while *both*
+    endpoints have remaining degree budget, so ``degree(v) <=
+    assignment[v].degree_budget`` holds for every vertex by construction.
+    Nodes that run out of budget (or have no neighbour in range) stay as
+    isolated or low-degree vertices, exercising the failure-confirmation
+    path.
+    """
+    candidates = sorted(
+        unit_disk_edges(deployment, radius),
+        key=lambda edge: (deployment.distance(edge[0], edge[1]), edge),
+    )
+    remaining = {node: assignment[node].degree_budget for node in deployment.node_ids}
+    accepted: List[Tuple[int, int]] = []
+    for u, v in candidates:
+        if remaining[u] > 0 and remaining[v] > 0:
+            accepted.append((u, v))
+            remaining[u] -= 1
+            remaining[v] -= 1
+    return LabeledGraph.from_edges(accepted, vertices=deployment.node_ids)
+
+
+def degree_budget_violations(
+    graph: LabeledGraph, assignment: Mapping[int, CapabilityClass]
+) -> List[Tuple[int, int, int]]:
+    """Vertices whose degree exceeds their class budget.
+
+    Returns ``(vertex, degree, budget)`` triples — empty when the
+    ``hetero-degree-respected`` invariant holds.
+    """
+    violations: List[Tuple[int, int, int]] = []
+    for vertex in graph.vertices:
+        degree = graph.degree(vertex)
+        budget = assignment[vertex].degree_budget
+        if degree > budget:
+            violations.append((vertex, degree, budget))
+    return violations
+
+
+def _spec_profile(spec) -> CapabilityProfile:
+    extra = dict(spec.extra)
+    return profile_named(str(extra.get("profile", "mixed")))
+
+
+def assignment_for_spec(spec) -> Dict[int, CapabilityClass]:
+    """The capability assignment a heterogeneous scenario spec induces.
+
+    Deterministic in ``(spec.size, spec.profile, spec.seed)``; used by the
+    conformance harness to re-check degree budgets against the budgets the
+    builder used.
+    """
+    deployment = _spec_deployment(spec)
+    return assign_capabilities(deployment.node_ids, _spec_profile(spec), seed=spec.seed)
+
+
+def _spec_deployment(spec) -> Deployment:
+    if spec.size < 1:
+        raise ExperimentError("heterogeneous scenarios need size >= 1")
+    return random_deployment(spec.size, dimension=spec.dimension, seed=spec.seed)
+
+
+def build_hetero_network(spec) -> AdHocNetwork:
+    """Materialise a ``hetero-unit-disk`` (or churn/mobility base) network.
+
+    Draws the deployment and capability assignment from ``spec.seed``, builds
+    the budgeted unit-disk graph and wraps it as an
+    :class:`~repro.network.adhoc.AdHocNetwork` carrying the deployment (so
+    position-based baselines apply to it like any unit-disk scenario).
+    """
+    if spec.radius is None:
+        raise ExperimentError(f"{spec.family!r} scenarios need a radius")
+    deployment = _spec_deployment(spec)
+    assignment = assign_capabilities(deployment.node_ids, _spec_profile(spec), seed=spec.seed)
+    graph = hetero_unit_disk_graph(deployment, assignment, spec.radius)
+    return build_graph_network(
+        graph, namespace_size=spec.namespace_size, deployment=deployment
+    )
