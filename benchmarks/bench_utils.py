@@ -31,6 +31,11 @@ PROVIDER = RandomSequenceProvider(seed=2008)
 #: assertions); set ``ENGINE_BENCH_SMOKE=1`` to enable.
 SMOKE = os.environ.get("ENGINE_BENCH_SMOKE", "") not in ("", "0")
 
+#: Version of the BENCH_*.json report envelope.  ``tools/check_bench.py``
+#: rejects reports and baselines whose version it does not understand, so a
+#: format change cannot silently pass the regression gate.
+BENCH_SCHEMA_VERSION = 1
+
 
 def prepared(network_or_graph) -> PreparedNetwork:
     """Shared prepared routing engine for a benchmark graph.
@@ -74,8 +79,17 @@ def emit_bench_json(name: str, payload: Dict[str, object]) -> str:
     benchmark module calls this next to its human-readable table so CI can
     upload the JSON artifacts and gate on them with ``tools/check_bench.py``.
     Timing fields are seconds (floats); ``payload`` must be JSON-serialisable.
+
+    When ``REPRO_BENCH_LOG`` names a file, the report is also appended to
+    that hash-chained provenance log (:mod:`repro.provenance`) as one
+    ``bench`` record — CI points it at ``benchmarks/trajectory/`` so the
+    repository accumulates an auditable performance history across PRs.
     """
-    report = {"benchmark": name, "machine": machine_fingerprint()}
+    report = {
+        "benchmark": name,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "machine": machine_fingerprint(),
+    }
     report.update(payload)
     os.makedirs(OUTPUT_DIR, exist_ok=True)
     path = os.path.join(OUTPUT_DIR, f"BENCH_{name}.json")
@@ -83,6 +97,21 @@ def emit_bench_json(name: str, payload: Dict[str, object]) -> str:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[bench json written to {path}]")
+    log_path = os.environ.get("REPRO_BENCH_LOG")
+    if log_path:
+        from repro.provenance.log import ResultLog
+        from repro.provenance.records import content_address
+
+        address = content_address(
+            {
+                "benchmark": name,
+                "mode": report.get("mode", "full"),
+                "schema_version": BENCH_SCHEMA_VERSION,
+            }
+        )
+        with ResultLog(log_path, "a") as log:
+            log.append("bench", {"report": report}, address=address)
+        print(f"[bench record appended to {log_path}]")
     return path
 
 

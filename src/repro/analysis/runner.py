@@ -32,13 +32,19 @@ shards that grid across a process pool:
   must match row for row.  ``workers > 1`` splits the shards into contiguous
   groups, submits the groups to a ``ProcessPoolExecutor`` (each worker runs
   its group through :func:`evaluate_shards`) and streams each shard's rows
-  to a JSONL file as its group completes (one flushed line per shard).
-  Rerunning with ``resume=True`` skips every shard whose record is already
-  on disk; a partial trailing line from a killed run is ignored.
-  Aggregation always replays the shards in plan order, so the resulting
-  :class:`~repro.analysis.experiments.ExperimentResult` is row-for-row
-  identical to a serial run with the same master seed, whatever the worker
-  count or completion order was.
+  as its group completes (one flushed line per shard).  The stream is a
+  :class:`repro.provenance.log.ResultLog`: a hash-chained JSONL log whose
+  ``plan``/``shard`` records carry the legacy keys plus content addresses,
+  so ``repro log verify``/``replay`` work on any sweep stream.  Rerunning
+  with ``resume=True`` skips every shard whose record is on disk *and*
+  passes its record-hash check — a tampered or truncated record (including
+  the partial trailing line of a killed run) counts as missing and its
+  shard re-executes.  Aggregation always replays the shards in plan order,
+  so the resulting :class:`~repro.analysis.experiments.ExperimentResult` is
+  row-for-row identical to a serial run with the same master seed, whatever
+  the worker count or completion order was.  (The pre-provenance raw-JSONL
+  reader/writer survive as the deprecated shims :func:`load_sweep_jsonl` /
+  :func:`write_sweep_record`.)
 
 The CLI front end is ``python -m repro sweep`` (see ``docs/cli.md``);
 ``benchmarks/bench_sweep.py`` measures the scaling and asserts aggregate
@@ -93,6 +99,8 @@ __all__ = [
     "run_sweep",
     "parallel_map",
     "map_scenario_rows",
+    "load_sweep_jsonl",
+    "write_sweep_record",
 ]
 
 #: Router name of the prepared engine (the guaranteed router's fast path).
@@ -520,7 +528,7 @@ def _evaluate_shard_group(
 
 
 # --------------------------------------------------------------------------- #
-# JSONL streaming and resume
+# Result-log streaming and resume
 # --------------------------------------------------------------------------- #
 
 
@@ -531,7 +539,7 @@ def _write_record(handle, record: Dict[str, object]) -> None:
 
 
 def _load_jsonl(path: str) -> Tuple[Optional[Dict[str, object]], Dict[int, Dict[str, object]]]:
-    """Tolerantly parse a sweep JSONL file.
+    """Tolerantly parse a sweep JSONL file (raw view, no hash validation).
 
     Returns the first plan header (if any) and the last record seen for each
     shard index.  Unparseable lines — typically the partial trailing line of
@@ -559,13 +567,83 @@ def _load_jsonl(path: str) -> Tuple[Optional[Dict[str, object]], Dict[int, Dict[
     return header, shards
 
 
-def _missing_final_newline(path: str) -> bool:
-    with open(path, "rb") as peek:
-        peek.seek(0, os.SEEK_END)
-        if peek.tell() == 0:
-            return False
-        peek.seek(-1, os.SEEK_END)
-        return peek.read(1) != b"\n"
+def load_sweep_jsonl(
+    path: str,
+) -> Tuple[Optional[Dict[str, object]], Dict[int, Dict[str, object]]]:
+    """Deprecated raw reader for sweep streams; use the provenance log view.
+
+    Sweep streams are hash-chained :class:`repro.provenance.log.ResultLog`
+    files now; read them through :func:`repro.provenance.log.read_log`
+    (tolerant) or :func:`repro.provenance.log.verify_log` (strict), which
+    validate record hashes instead of trusting every parseable line.  This
+    shim keeps the old header/shard-map shape working bit-for-bit.
+    """
+    from repro.deprecation import warn_once
+
+    warn_once(
+        "runner.load_sweep_jsonl",
+        "load_sweep_jsonl is deprecated: sweep streams are provenance logs; "
+        "read them with repro.provenance.log.read_log / verify_log",
+    )
+    return _load_jsonl(path)
+
+
+def write_sweep_record(handle, record: Dict[str, object]) -> None:
+    """Deprecated raw writer for sweep records; append through a ResultLog.
+
+    Records written this way carry no ``record_hash``/``parent`` seal, so a
+    resuming :func:`run_sweep` treats them as missing and re-executes their
+    shards.  Append through
+    :meth:`repro.provenance.log.ResultLog.append` instead.
+    """
+    from repro.deprecation import warn_once
+
+    warn_once(
+        "runner.write_sweep_record",
+        "write_sweep_record is deprecated: append sweep records through "
+        "repro.provenance.log.ResultLog so they join the hash chain",
+    )
+    _write_record(handle, record)
+
+
+def _plan_record_address(fingerprint: Optional[str]) -> str:
+    from repro.provenance.records import (
+        PROVENANCE_SCHEMA_VERSION,
+        code_version,
+        content_address,
+    )
+
+    return content_address(
+        {
+            "kind": "plan",
+            "fingerprint": fingerprint,
+            "schema_version": PROVENANCE_SCHEMA_VERSION,
+            "code_version": code_version(),
+        }
+    )
+
+
+def _shard_record_address(fingerprint: Optional[str], shard: SweepShard) -> str:
+    """Content address of one shard cell: spec + router + pair count + seed."""
+    from repro.provenance.records import (
+        PROVENANCE_SCHEMA_VERSION,
+        code_version,
+        content_address,
+    )
+
+    return content_address(
+        {
+            "kind": "shard",
+            "fingerprint": fingerprint,
+            "index": shard.index,
+            "spec": dataclasses.asdict(shard.spec),
+            "router": shard.router,
+            "pairs": shard.pairs,
+            "seed": shard.seed,
+            "schema_version": PROVENANCE_SCHEMA_VERSION,
+            "code_version": code_version(),
+        }
+    )
 
 
 def _worker_init() -> None:
@@ -591,9 +669,11 @@ def run_sweep(
     splits the pending shards into contiguous groups and fans the groups out
     over a process pool; each worker batches its group the same way.  Either
     way, when ``out_path`` is given each completed shard is appended to it
-    as one JSONL record, and with ``resume=True`` shards whose records are
-    already on disk (from a previous, possibly killed, run of the *same*
-    plan) are skipped.
+    as one hash-chained :class:`repro.provenance.log.ResultLog` record, and
+    with ``resume=True`` shards whose records are already on disk (from a
+    previous, possibly killed, run of the *same* plan) *and* pass their
+    record-hash check are skipped — the chain seal, not just the plan
+    fingerprint, decides what counts as done.
 
     ``multigraph`` forwards the dispatch tri-state of
     :func:`evaluate_shards`: ``None`` auto-dispatches on aggregate batch
@@ -605,17 +685,25 @@ def run_sweep(
     """
     if resume and out_path is None:
         raise ExperimentError("resume=True needs an out_path: there is no shard stream to resume from")
-    # Only the JSONL header and the resume guard read the fingerprint; pure
+    # Only the log header and the resume guard read the fingerprint; pure
     # in-memory sweeps skip the O(shards) serialise-and-hash entirely.
     fingerprint = plan.fingerprint() if out_path is not None else None
     completed: Dict[int, List[List[object]]] = {}
     mode = "w"
     if out_path is not None and resume and os.path.exists(out_path):
-        header, records = _load_jsonl(out_path)
+        # Hash-validated view: a record whose seal does not verify — tampered
+        # bytes, a truncated tail, or a legacy unsealed record — is invisible
+        # here, so its shard re-executes and the stream self-heals.
+        from repro.provenance.log import read_log
+
+        records, _issues = read_log(out_path)
+        header = next(
+            (record for record in records if record.get("kind") == "plan"), None
+        )
         if header is None:
-            # A non-empty file without a parseable plan header is not ours to
-            # overwrite — it is either unrelated data or a sweep stream whose
-            # header line was corrupted; truncating it would destroy rows.
+            # A non-empty file without a chain-valid plan header is not ours
+            # to overwrite — it is either unrelated data or a sweep stream
+            # whose header was corrupted; truncating it would destroy rows.
             # (An empty file — e.g. a crash before the header write — is a
             # fresh start.)
             if os.path.getsize(out_path) > 0:
@@ -630,15 +718,19 @@ def run_sweep(
                     f"cannot resume {out_path!r}: it records a different sweep plan"
                 )
             mode = "a"
-        for index, record in records.items():
+        for record in records:
+            if record.get("kind") != "shard":
+                continue
+            index = record.get("index")
             rows = record.get("rows")
             if (
-                record.get("fingerprint") == fingerprint
+                isinstance(index, int)
+                and record.get("fingerprint") == fingerprint
                 and 0 <= index < len(plan.shards)
                 and isinstance(rows, list)
-                # A parseable-but-corrupt record (wrong row shape) is treated
-                # as missing so its shard re-executes and the file self-heals,
-                # instead of poisoning aggregation on every later resume.
+                # Belt and braces under the hash check: a record whose rows
+                # do not match the plan's table schema is treated as missing
+                # so its shard re-executes instead of poisoning aggregation.
                 and all(
                     isinstance(row, list) and len(row) == len(plan.headers)
                     for row in rows
@@ -649,39 +741,43 @@ def run_sweep(
     pending = [shard for shard in plan.shards if shard.index not in completed]
     skipped = len(plan.shards) - len(pending)
 
-    handle = open(out_path, mode, encoding="utf-8") if out_path is not None else None
+    # The log heals a partial trailing line at open (flushing before the pool
+    # forks, so no worker inherits a non-empty write buffer) and chains new
+    # records onto the last hash-valid record already on disk.
+    log = None
+    if out_path is not None:
+        from repro.provenance.log import ResultLog
+
+        log = ResultLog(out_path, mode)
     try:
-        if handle is not None and mode == "a" and _missing_final_newline(out_path):
-            # The previous run died mid-line; terminate the partial record so
-            # the first appended record does not concatenate onto it.  Flush
-            # before the pool forks: a worker inheriting a non-empty write
-            # buffer would flush its own copy into the shared fd on exit.
-            handle.write("\n")
-            handle.flush()
-        if handle is not None and mode == "w":
-            _write_record(
-                handle,
+        if log is not None and mode == "w":
+            log.append(
+                "plan",
                 {
-                    "kind": "plan",
                     "experiment": plan.experiment,
                     "fingerprint": fingerprint,
                     "headers": list(plan.headers),
                     "shards": len(plan.shards),
                 },
+                address=_plan_record_address(fingerprint),
             )
 
         def record_shard(shard: SweepShard, rows: List[List[object]]) -> None:
             completed[shard.index] = rows
-            if handle is not None:
-                _write_record(
-                    handle,
+            if log is not None:
+                log.append(
+                    "shard",
                     {
-                        "kind": "shard",
                         "fingerprint": fingerprint,
                         "index": shard.index,
                         "shard": shard.key,
+                        "spec": dataclasses.asdict(shard.spec),
+                        "router": shard.router,
+                        "pairs": shard.pairs,
+                        "seed": shard.seed,
                         "rows": rows,
                     },
+                    address=_shard_record_address(fingerprint, shard),
                 )
 
         if workers <= 1 or len(pending) <= 1:
@@ -713,8 +809,8 @@ def run_sweep(
                     for index, rows in future.result():
                         record_shard(shard_of[index], rows)
     finally:
-        if handle is not None:
-            handle.close()
+        if log is not None:
+            log.close()
 
     table = ExperimentResult(experiment=plan.experiment, headers=list(plan.headers))
     for shard in plan.shards:

@@ -56,6 +56,7 @@ from repro.api.executors import (
     execute_route_batch,
     execute_schedule_route,
     execute_sweep,
+    result_provenance,
     route_result_payload,
 )
 from repro.api.requests import (
@@ -112,6 +113,10 @@ class Backend:
             virtual_steps=computation.virtual_steps,
             seed=computation.seed,
             elapsed_seconds=elapsed,
+            # Stamped here, in the one wrapper every backend runs through,
+            # so provenance cannot drift between backends (parity tests
+            # compare whole envelopes modulo timing).
+            provenance=result_provenance(request),
         )
 
     def _dispatch_table(self) -> Dict[type, Callable[..., TaskComputation]]:

@@ -71,6 +71,16 @@ class TaskResult(WireCodable):
     see each executor); ``backend`` is the id of the backend that ran the
     task; ``elapsed_seconds`` is wall-clock execution time as measured by
     that backend (the one field two otherwise-identical runs may differ in).
+
+    ``provenance`` is the accountability block every backend stamps in one
+    place (:func:`repro.api.executors.result_provenance`): the result's
+    content ``address`` (sha256 of request envelope + code/schema version),
+    the ``schema_version``/``code_version`` that produced it, the
+    ``kernel_store`` format fingerprint, and ``parent`` — ``None`` until the
+    result is appended to a :class:`repro.provenance.log.ResultLog`, which
+    patches in the chain head it was sealed against.  A pure function of the
+    request and process-invariant constants (never of timing or cache
+    state), so backend-parity comparisons still hold exactly.
     """
 
     task: str
@@ -81,6 +91,7 @@ class TaskResult(WireCodable):
     virtual_steps: Optional[int] = None
     seed: Optional[int] = None
     elapsed_seconds: float = 0.0
+    provenance: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -331,6 +342,7 @@ def _encode_result(result: TaskResult) -> Dict[str, object]:
         "virtual_steps": result.virtual_steps,
         "seed": result.seed,
         "elapsed_seconds": result.elapsed_seconds,
+        "provenance": result.provenance,
     }
 
 
@@ -344,6 +356,7 @@ def _decode_result(fields: Dict[str, object]) -> TaskResult:
         virtual_steps=fields.get("virtual_steps"),
         seed=fields.get("seed"),
         elapsed_seconds=float(fields.get("elapsed_seconds", 0.0)),
+        provenance=fields.get("provenance"),
     )
 
 

@@ -49,6 +49,7 @@ from repro.network.dynamics import DynamicOutcome
 __all__ = [
     "ScenarioStore",
     "TaskComputation",
+    "result_provenance",
     "route_result_payload",
     "dynamic_result_payload",
     "reliable_broadcast_payload",
@@ -74,6 +75,35 @@ class TaskComputation:
     physical_steps: Optional[int] = None
     virtual_steps: Optional[int] = None
     seed: Optional[int] = None
+
+
+def result_provenance(request) -> Dict[str, object]:
+    """The provenance block every backend stamps into its results.
+
+    Computed here — next to the shared executor bodies, in exactly one place
+    — so all backends emit it *by construction* and the differential-parity
+    tests keep holding: the block is a pure function of the request envelope
+    and process-invariant constants (code/schema version, kernel pack-format
+    fingerprint).  ``parent`` stays ``None`` until a
+    :class:`repro.provenance.log.ResultLog` append patches in its chain
+    position (:meth:`~repro.provenance.log.ResultLog.append_task`).
+    """
+    # Imported lazily: provenance.records encodes requests via the envelope
+    # codec, which imports this module's request types transitively.
+    from repro.core.kernel_store import store_fingerprint
+    from repro.provenance.records import (
+        PROVENANCE_SCHEMA_VERSION,
+        code_version,
+        task_address,
+    )
+
+    return {
+        "address": task_address(request),
+        "schema_version": PROVENANCE_SCHEMA_VERSION,
+        "code_version": code_version(),
+        "kernel_store": store_fingerprint(),
+        "parent": None,
+    }
 
 
 class ScenarioStore:

@@ -539,6 +539,47 @@ def _run_serve(args: argparse.Namespace) -> int:
     return serve(config_from_args(args))
 
 
+def _configure_log(parser: argparse.ArgumentParser) -> None:
+    subcommands = parser.add_subparsers(dest="log_command", required=True)
+
+    verify = subcommands.add_parser(
+        "verify", help="re-derive every record hash and check the chain links"
+    )
+    verify.add_argument("path", help="the provenance log to audit")
+
+    replay = subcommands.add_parser(
+        "replay", help="re-execute logged records and compare against the log"
+    )
+    replay.add_argument("path", help="the provenance log to replay from")
+    replay.add_argument(
+        "address",
+        nargs="?",
+        default=None,
+        help="replay only records with this address (or record hash)",
+    )
+    replay.add_argument(
+        "--index", type=int, default=None, help="replay the record at this index"
+    )
+    replay.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="replay N evenly-spaced replayable records instead of all",
+    )
+
+    diff = subcommands.add_parser(
+        "diff", help="compare two logs record-by-record via their hashes"
+    )
+    diff.add_argument("left", help="first log")
+    diff.add_argument("right", help="second log")
+
+
+def _run_log(args: argparse.Namespace) -> int:
+    from repro.provenance.replay import run_log_command
+
+    return run_log_command(args)
+
+
 #: Every registered non-task subcommand.
 COMMANDS: Tuple[CommandSpec, ...] = (
     CommandSpec(
@@ -546,6 +587,12 @@ COMMANDS: Tuple[CommandSpec, ...] = (
         help="run the routing daemon: the task API over HTTP/JSON",
         configure=_configure_serve,
         run=_run_serve,
+    ),
+    CommandSpec(
+        name="log",
+        help="audit a provenance log: verify, replay or diff",
+        configure=_configure_log,
+        run=_run_log,
     ),
 )
 

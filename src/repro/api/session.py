@@ -77,9 +77,19 @@ class Session:
         Optional replacement backend mapping (id -> :class:`Backend`).  The
         default set is ``inline``, ``process-pool`` and ``schedule``; tests
         substitute recording fakes here.
+    result_log:
+        Optional :class:`repro.provenance.log.ResultLog`.  When given, every
+        submitted task is appended to it as one hash-chained ``task`` record
+        (request envelope + result envelope) and the returned result carries
+        its chain position in ``provenance["parent"]``.  The routing daemon
+        shares one log across all its dispatcher threads this way.
     """
 
-    def __init__(self, backends: Optional[Dict[str, Backend]] = None) -> None:
+    def __init__(
+        self,
+        backends: Optional[Dict[str, Backend]] = None,
+        result_log=None,
+    ) -> None:
         self._store = ScenarioStore()
         self._backends: Dict[str, Backend] = (
             dict(backends)
@@ -90,6 +100,7 @@ class Session:
                 "schedule": ScheduleBackend(),
             }
         )
+        self._result_log = result_log
         self._submitted = 0
 
     # ------------------------------------------------------------------ #
@@ -124,6 +135,8 @@ class Session:
                 f"unknown backend {name!r}; available: {sorted(self._backends)}"
             )
         result = chosen.run(request, self._store)
+        if self._result_log is not None:
+            result = self._result_log.append_task(request, result)
         self._submitted += 1
         return result
 

@@ -53,6 +53,14 @@ and nothing else.  The functions below only *render* the uniform
     graceful SIGTERM drain.  ``serve`` is a :class:`~repro.api.registry.CommandSpec`
     — a long-running process command, not a task — see ``docs/server.md``.
 
+``python -m repro log verify results.log``
+    Audit a provenance log (``docs/provenance.md``): ``verify`` re-derives
+    every record hash and checks the chain links, ``replay`` re-executes
+    logged tasks/shards and compares the fresh result against the recorded
+    one bit-for-bit, ``diff`` compares two logs record-by-record.  Like
+    ``serve``, the ``log`` family is a :class:`~repro.api.registry.CommandSpec`;
+    exit status 1 when verification, replay or diff finds a divergence.
+
 All network-generating commands accept ``--seed`` for reproducibility and
 ``--dimension 3`` for unit-ball (3D) deployments.  Exit status is 0 on
 success, 2 on bad arguments.  Every subcommand is documented with

@@ -74,6 +74,7 @@ __all__ = [
     "configure_kernel_store",
     "kernel_file",
     "kernel_store",
+    "store_fingerprint",
     "sweep_stale_tmp_files",
 ]
 
@@ -89,8 +90,31 @@ DEFAULT_SCHEDULE_CAPACITY = 16
 #: file that does not open with it is rejected before any array is trusted.
 _KERNEL_MAGIC = 0x5250_4B31
 
+#: Version of the flat pack layout (:func:`_pack_kernel`); bumped with it.
+_PACK_VERSION = 1
+
 #: Suffix marker of the disk tier's in-progress writes (``<hash>.npy.tmp.<pid>``).
 _TMP_MARKER = ".tmp."
+
+
+def store_fingerprint() -> str:
+    """Short digest of the kernel persistence *format* (not of any config).
+
+    Provenance records (:mod:`repro.provenance`) carry this fingerprint so a
+    replayed result can attest which compiled-kernel representation produced
+    it.  It is a pure function of the file magic and pack layout version —
+    deliberately independent of cache directories, capacities or whether the
+    disk tier is enabled, because kernels restored from any tier are bitwise
+    identical to fresh compilations and two backends of one process must
+    stamp identical provenance (the parity tests compare results exactly).
+    """
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        {"magic": _KERNEL_MAGIC, "pack_version": _PACK_VERSION}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 #: A temp file from a *live* pid is still swept once it is this old — pids
 #: recycle, and no atomic write takes an hour.

@@ -1,0 +1,127 @@
+"""Canonical encoding, content addresses and hash-chain sealing rules.
+
+A provenance record is a flat JSON object.  Three field groups make it
+accountable:
+
+* **Identity** — ``kind`` (``"task"``, ``"shard"``, ``"plan"``, ``"bench"``),
+  ``schema_version`` (:data:`PROVENANCE_SCHEMA_VERSION`) and ``address``:
+  the sha256 content address of a canonical encoding of *what was asked* —
+  the request envelope / scenario spec / seeds plus the code and schema
+  version — never of what was produced.  Two runs of the same code over the
+  same request share an address; the address is how ``repro log replay``
+  finds the record to re-execute.
+* **Chain** — ``parent`` is the previous record's ``record_hash``
+  (:data:`GENESIS_PARENT` for the first record) and ``record_hash`` is the
+  sha256 of the canonical encoding of the record *minus* ``record_hash``.
+  Appends therefore commit to the entire history: flipping a single byte
+  anywhere in the log breaks a record hash or a parent link, which
+  :func:`repro.provenance.log.verify_log` reports by record index.
+* **Body** — the record kind's own fields (the wire-encoded request and
+  result for tasks, the rows for sweep shards, the report for benchmarks).
+
+Canonical encoding is :func:`canonical_json`: sorted keys, no whitespace,
+NaN rejected — the same canonical form the task envelope codec
+(:mod:`repro.api.envelope`) uses, so equal records always hash equally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+from repro.errors import TaskError
+
+__all__ = [
+    "PROVENANCE_SCHEMA_VERSION",
+    "GENESIS_PARENT",
+    "canonical_json",
+    "content_address",
+    "code_version",
+    "task_address",
+    "seal_record",
+    "record_digest",
+]
+
+#: Version of the provenance record schema; bumped on incompatible changes.
+PROVENANCE_SCHEMA_VERSION = 1
+
+#: The ``parent`` of the first record of a log (no predecessor to commit to).
+GENESIS_PARENT = "0" * 64
+
+#: Fields every sealed record carries besides its kind-specific body.
+_ENVELOPE_FIELDS = ("kind", "schema_version", "parent", "address", "record_hash")
+
+
+def canonical_json(obj: object) -> str:
+    """The one canonical JSON encoding: sorted keys, compact, no NaN."""
+    try:
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as error:
+        raise TaskError(
+            f"cannot canonically encode this object ({error}); provenance "
+            "records must carry only JSON-safe values"
+        )
+
+
+def content_address(obj: object) -> str:
+    """sha256 hex digest of the canonical encoding of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def code_version() -> str:
+    """The repository version that produced a record (``repro.__version__``)."""
+    import repro
+
+    return repro.__version__
+
+
+def task_address(request) -> str:
+    """Content address of one task submission: request + code/schema version.
+
+    The request's tagged wire envelope already nails down the scenario spec
+    and every seed (see :mod:`repro.api.envelope`), so hashing it alongside
+    the code and schema version keys the record by everything replay needs.
+    """
+    from repro.api.envelope import to_wire
+
+    return content_address(
+        {
+            "request": to_wire(request),
+            "schema_version": PROVENANCE_SCHEMA_VERSION,
+            "code_version": code_version(),
+        }
+    )
+
+
+def seal_record(
+    kind: str,
+    body: Dict[str, object],
+    parent: str,
+    address: Optional[str] = None,
+) -> Dict[str, object]:
+    """Build one chain-sealed record: envelope + body + ``record_hash``.
+
+    ``body`` must not shadow the envelope fields — the seal would otherwise
+    be ambiguous about which value was hashed.
+    """
+    clash = sorted(set(body) & set(_ENVELOPE_FIELDS))
+    if clash:
+        raise TaskError(f"record body may not use the envelope fields {clash}")
+    record: Dict[str, object] = {
+        "kind": kind,
+        "schema_version": PROVENANCE_SCHEMA_VERSION,
+        "parent": parent,
+    }
+    if address is not None:
+        record["address"] = address
+    record.update(body)
+    record["record_hash"] = record_digest(record)
+    return record
+
+
+def record_digest(record: Dict[str, object]) -> str:
+    """What ``record_hash`` must equal: the address of the rest of the record."""
+    return content_address(
+        {key: value for key, value in record.items() if key != "record_hash"}
+    )

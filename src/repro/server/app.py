@@ -14,11 +14,18 @@ kernel caches — and exposes it over four endpoints:
     ones.  Admission is all-or-nothing: the whole batch is queued or the
     whole batch is 429'd.
 ``GET /metrics``
-    Queue depth / in-flight counts, per-task-type latency histograms and the
+    Queue depth / in-flight counts, per-task-type latency histograms, the
     full Session cache counters (including ``kernel_compiles`` — the
-    warm-restart zero-recompile check reads it here).
+    warm-restart zero-recompile check reads it here) and the provenance-log
+    counters when a log is configured.
 ``GET /healthz``
     Liveness plus the draining flag.
+``GET /v1/log``
+    Paged view over the shared provenance log (``?offset=&limit=``): with
+    ``--result-log PATH`` every served task is appended to one hash-chained
+    :class:`repro.provenance.log.ResultLog` shared by all dispatcher
+    threads, so any client-visible result can later be audited with
+    ``repro log verify`` / ``replay``.  404 when no log is configured.
 
 Execution model: the event loop only parses, validates and streams; admitted
 jobs go through one bounded :class:`~repro.server.queueing.TaskQueue` and a
@@ -78,7 +85,17 @@ class RoutingServer:
         session: Optional[Session] = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig.from_env()
-        self.session = session if session is not None else Session()
+        self.result_log = None
+        if self.config.result_log_path:
+            from repro.provenance.log import ResultLog
+
+            # Opened append-mode: a restarted daemon keeps extending the
+            # chain of its previous life instead of truncating it.
+            self.result_log = ResultLog(self.config.result_log_path, "a")
+        if session is not None:
+            self.session = session
+        else:
+            self.session = Session(result_log=self.result_log)
         self.queue = TaskQueue(self.config.queue_capacity)
         self.draining = False
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -160,6 +177,8 @@ class RoutingServer:
                 await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
         if self._executor is not None:
             self._executor.shutdown(wait=False)
+        if self.result_log is not None:
+            self.result_log.close()
 
     async def run_until_signal(self, ready_stream=None) -> int:
         """Serve until SIGTERM/SIGINT, drain, return the exit status (0).
@@ -305,6 +324,10 @@ class RoutingServer:
             if request.method != "GET":
                 raise HttpError(405, "method-not-allowed", "metrics is GET-only")
             return json_response(200, self.metrics())
+        if request.path == "/v1/log":
+            if request.method != "GET":
+                raise HttpError(405, "method-not-allowed", "the log view is GET-only")
+            return self._handle_log(request)
         if request.path == "/v1/task":
             if request.method != "POST":
                 raise HttpError(405, "method-not-allowed", "submit tasks with POST")
@@ -323,6 +346,42 @@ class RoutingServer:
                 "server is draining and no longer accepts new tasks",
                 retry_after=self.config.retry_after_seconds,
             )
+
+    def _handle_log(self, request: HttpRequest) -> HttpResponse:
+        """Paged read over the shared provenance log (tolerant view)."""
+        if self.result_log is None:
+            raise HttpError(
+                404,
+                "log-disabled",
+                "no result log is configured; start the daemon with --result-log PATH",
+            )
+        from repro.provenance.log import read_log
+
+        def int_param(name: str, default: int, low: int, high: int) -> int:
+            raw = request.query_value(name)
+            if raw is None:
+                return default
+            try:
+                value = int(raw)
+            except ValueError:
+                raise HttpError(400, "bad-request", f"{name} must be an integer")
+            return max(low, min(high, value))
+
+        offset = int_param("offset", 0, 0, 10 ** 9)
+        limit = int_param("limit", 50, 1, 500)
+        # Re-read from disk rather than caching: appends are flushed whole
+        # lines, so the tolerant reader always sees a consistent prefix.
+        records, _issues = read_log(self.result_log.path)
+        return json_response(
+            200,
+            {
+                "total": len(records),
+                "offset": offset,
+                "limit": limit,
+                "head": self.result_log.head,
+                "records": records[offset : offset + limit],
+            },
+        )
 
     async def _handle_task(self, request: HttpRequest) -> HttpResponse:
         self._reject_if_draining()
@@ -401,6 +460,15 @@ class RoutingServer:
             },
             "queue": self.queue.snapshot(),
             "cache": dict(self.session.cache_info()),
+            "log": (
+                {
+                    "enabled": True,
+                    "records": self.result_log.count,
+                    "head": self.result_log.head,
+                }
+                if self.result_log is not None
+                else {"enabled": False}
+            ),
             "latency": {
                 name: histogram.snapshot()
                 for name, histogram in sorted(self.queue.latency.items())

@@ -36,7 +36,10 @@ class ServerConfig:
     thread pool (how many tasks run at once); ``max_body_bytes`` and
     ``max_batch_tasks`` cap a single request's cost before it is parsed.
     ``drain_timeout_seconds`` limits how long a SIGTERM-initiated drain waits
-    for in-flight work before shutting down anyway.
+    for in-flight work before shutting down anyway.  ``result_log_path``
+    names the shared provenance log (:mod:`repro.provenance`): when set,
+    every served task is appended as one hash-chained record, ``GET /v1/log``
+    pages over it and ``/metrics`` reports its counters.
     """
 
     host: str = "127.0.0.1"
@@ -48,6 +51,7 @@ class ServerConfig:
     retry_after_seconds: int = 1
     drain_timeout_seconds: float = 30.0
     kernel_cache_dir: Optional[str] = None
+    result_log_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -123,6 +127,16 @@ def add_server_arguments(parser: argparse.ArgumentParser) -> None:
             "warm-start from it with zero recompilations"
         ),
     )
+    parser.add_argument(
+        "--result-log",
+        default=None,
+        dest="result_log",
+        help=(
+            "append every served task to this hash-chained provenance log "
+            "(JSONL); browse it with GET /v1/log, audit it with "
+            "'repro log verify/replay'"
+        ),
+    )
 
 
 def config_from_args(args: argparse.Namespace) -> ServerConfig:
@@ -135,4 +149,5 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         max_body_bytes=args.max_body_bytes,
         drain_timeout_seconds=args.drain_timeout,
         kernel_cache_dir=args.kernel_cache_dir,
+        result_log_path=args.result_log,
     )

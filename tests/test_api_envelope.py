@@ -361,6 +361,13 @@ def golden_samples():
             virtual_steps=40,
             seed=7,
             elapsed_seconds=0.125,
+            provenance={
+                "address": "ad" * 32,
+                "schema_version": 1,
+                "code_version": "1.0.0",
+                "kernel_store": "0123456789abcdef",
+                "parent": None,
+            },
         ),
     }
 

@@ -1,0 +1,86 @@
+"""The benchmark regression gate's ``schema_version`` contract.
+
+``tools/check_bench.py`` must refuse to interpret a report or baseline whose
+envelope version it does not understand — a format change has to update the
+gate explicitly, never drift past it — while versioned pairs keep gating on
+``require``/``min`` exactly as before.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_CHECKER = Path(__file__).resolve().parent.parent / "tools" / "check_bench.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_bench", _CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_BASELINE = {
+    "benchmark": "demo",
+    "schema_version": 1,
+    "require": {"mismatches": 0},
+    "min": {"full": {"speedup": 2.0}, "smoke": {}},
+}
+_REPORT = {
+    "benchmark": "demo",
+    "schema_version": 1,
+    "mode": "full",
+    "mismatches": 0,
+    "speedup": 3.5,
+}
+
+
+def test_versioned_pair_still_gates_on_require_and_min():
+    checker = _load_checker()
+    assert checker.check_report(dict(_BASELINE), dict(_REPORT)) == []
+    slow = dict(_REPORT, speedup=1.0)
+    errors = checker.check_report(dict(_BASELINE), slow)
+    assert len(errors) == 1 and "below the baseline floor" in errors[0]
+
+
+def test_missing_schema_version_is_a_clear_error():
+    checker = _load_checker()
+    unversioned = {k: v for k, v in _REPORT.items() if k != "schema_version"}
+    errors = checker.check_report(dict(_BASELINE), unversioned)
+    assert len(errors) == 1
+    assert "no schema_version" in errors[0] and "rerun the benchmark" in errors[0]
+
+
+def test_unknown_schema_version_is_rejected_on_either_side():
+    checker = _load_checker()
+    future_report = dict(_REPORT, schema_version=99)
+    errors = checker.check_report(dict(_BASELINE), future_report)
+    assert len(errors) == 1
+    assert "schema_version 99" in errors[0]
+    assert "tools/check_bench.py" in errors[0]
+
+    future_baseline = dict(_BASELINE, schema_version=99)
+    errors = checker.check_report(future_baseline, dict(_REPORT))
+    assert len(errors) == 1 and "baseline" in errors[0]
+
+
+def test_unknown_version_stops_field_interpretation():
+    checker = _load_checker()
+    # The report would also fail `require`, but the gate must report only the
+    # schema problem — an unknown layout's fields are not trustworthy.
+    bad = dict(_REPORT, schema_version=99, mismatches=7)
+    errors = checker.check_report(dict(_BASELINE), bad)
+    assert len(errors) == 1 and "schema_version" in errors[0]
+
+
+def test_committed_baselines_all_declare_a_known_version():
+    checker = _load_checker()
+    import json
+
+    baseline_dir = Path(checker.DEFAULT_BASELINE_DIR)
+    names = sorted(baseline_dir.glob("BENCH_*.json"))
+    assert names, "no committed baselines found"
+    for path in names:
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document.get("schema_version") in checker.KNOWN_SCHEMA_VERSIONS, path

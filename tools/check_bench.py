@@ -15,6 +15,10 @@ Every benchmark module emits a machine-readable report
   empty; full runs gate performance with conservative floors (a regression
   has to be real to trip them, machine jitter does not).
 
+Both sides must declare a ``schema_version`` this gate understands (currently
+``1``); a missing or unknown version fails with an error naming the fix, so a
+report-format change can never pass the gate by accident.
+
 Exit status is 0 when every baseline's report exists and meets its bar, 1
 otherwise (missing report, missing field, failed requirement or floor).
 Run after the benchmarks::
@@ -39,6 +43,28 @@ DEFAULT_BASELINE_DIR = os.path.join(REPO_ROOT, "benchmarks", "baselines")
 
 _MISSING = object()
 
+#: Report-envelope versions this gate understands (see
+#: ``benchmarks/bench_utils.py:BENCH_SCHEMA_VERSION``).
+KNOWN_SCHEMA_VERSIONS = (1,)
+
+
+def _schema_errors(name: str, role: str, document: Dict[str, object]) -> List[str]:
+    """Violations of the ``schema_version`` contract for one side of a pair."""
+    version = document.get("schema_version", _MISSING)
+    if version is _MISSING:
+        return [
+            f"{name}: {role} has no schema_version — it predates the v1 "
+            "report envelope; rerun the benchmark (or re-baseline) to refresh it"
+        ]
+    if version not in KNOWN_SCHEMA_VERSIONS:
+        known = ", ".join(str(v) for v in KNOWN_SCHEMA_VERSIONS)
+        return [
+            f"{name}: {role} declares schema_version {version!r}, but this "
+            f"gate only understands {{{known}}} — update tools/check_bench.py "
+            "alongside the format change"
+        ]
+    return []
+
 
 def _lookup(report: Dict[str, object], path: str):
     """Resolve a dotted path (``warm_start.warm_compiles``) in the report."""
@@ -54,6 +80,12 @@ def check_report(baseline: Dict[str, object], report: Dict[str, object]) -> List
     """All violations of one report against its baseline (empty = pass)."""
     errors: List[str] = []
     name = baseline.get("benchmark", "?")
+    errors.extend(_schema_errors(name, "baseline", baseline))
+    errors.extend(_schema_errors(name, "report", report))
+    if errors:
+        # An unknown or missing envelope version means the field layout is
+        # not trustworthy; do not interpret the rest of the document.
+        return errors
     if report.get("benchmark") != name:
         errors.append(
             f"{name}: report is for {report.get('benchmark')!r}, not {name!r}"
